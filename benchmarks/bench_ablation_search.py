@@ -1,0 +1,95 @@
+"""Ablation benches for the design choices called out in DESIGN.md §5:
+
+* the delta margin / smallest-index tie-break of Algorithm 2 versus a pure
+  greedy largest-layer rule;
+* the cost of the memory-driven search itself across the whole family;
+* the M0 mantissa width (INT32 vs INT16) of the ICN fixed-point
+  decomposition.
+"""
+
+import numpy as np
+
+from repro.core.icn import mantissa_to_float, quantize_multiplier
+from repro.core.memory_model import MemoryModel
+from repro.core.mixed_precision import search_mixed_precision
+from repro.core.policy import QuantMethod
+from repro.evaluation.accuracy_model import AccuracyModel
+from repro.evaluation.tables import render_table
+from repro.mcu.device import KB, MB
+from repro.models.model_zoo import all_mobilenet_configs, mobilenet_v1_spec
+
+
+def test_benchmark_search_all_configs(benchmark):
+    """Time of the full memory-driven search over the 16-config family."""
+
+    def run():
+        return [
+            search_mixed_precision(spec, 2 * MB, 512 * KB, method=QuantMethod.PC_ICN)
+            for spec in all_mobilenet_configs()
+        ]
+
+    policies = benchmark(run)
+    assert len(policies) == 16 and all(p.feasible for p in policies)
+
+
+def test_benchmark_ablation_delta_margin(benchmark, record_report):
+    """Delta-margin ablation: compare the policies (and predicted accuracy)
+    produced by delta = 0 (pure greedy), the default 0.05, and 0.3."""
+    spec = mobilenet_v1_spec(224, 1.0)
+    acc_model = AccuracyModel()
+
+    def run():
+        out = {}
+        for delta in (0.0, 0.05, 0.3):
+            policy = search_mixed_precision(
+                spec, 2 * MB, 512 * KB, method=QuantMethod.PC_ICN, delta=delta
+            )
+            out[delta] = policy
+        return out
+
+    policies = benchmark(run)
+
+    rows = []
+    for delta, policy in policies.items():
+        memory = MemoryModel(spec)
+        cut = [i for i, lp in enumerate(policy.layers) if lp.q_w < 8]
+        rows.append([
+            delta,
+            acc_model.predict_top1(spec, policy),
+            round(memory.ro_bytes(policy) / MB, 3),
+            len(cut),
+            min(cut) if cut else "-",
+        ])
+    report = render_table(
+        ["delta", "predicted Top-1", "RO (MB)", "# cut layers", "earliest cut"],
+        rows,
+        title="Ablation — Algorithm 2 delta margin on MobileNetV1 224_1.0 (2 MB budget)",
+    )
+    record_report("ablation_delta_margin", report)
+    for policy in policies.values():
+        assert MemoryModel(spec).ro_bytes(policy) <= 2 * MB
+
+
+def test_benchmark_ablation_mantissa_width(benchmark, record_report):
+    """M0 mantissa width ablation: relative error of the requantization
+    multiplier when stored with 31, 15 or 7 fractional bits."""
+    rng = np.random.default_rng(0)
+    multipliers = rng.uniform(1e-5, 1e-1, size=4096)
+
+    def run():
+        out = {}
+        for bits in (31, 15, 7):
+            m0, n0 = quantize_multiplier(multipliers, frac_bits=bits)
+            approx = mantissa_to_float(m0, frac_bits=bits) * np.exp2(n0.astype(float))
+            out[bits] = float(np.max(np.abs(approx - multipliers) / multipliers))
+        return out
+
+    errors = benchmark(run)
+    report = render_table(
+        ["fractional bits", "max relative error"],
+        [[b, f"{e:.2e}"] for b, e in errors.items()],
+        title="Ablation — fixed-point mantissa width of the ICN multiplier",
+    )
+    record_report("ablation_mantissa_width", report)
+    assert errors[31] < errors[15] < errors[7]
+    assert errors[31] < 1e-8

@@ -1,0 +1,48 @@
+"""E3 — Figure 2: accuracy-latency trade-off of all 16 MobileNetV1
+configurations deployed on the STM32H7 (2 MB / 512 kB) with MixQ-PL and
+MixQ-PC-ICN.
+
+The bench runs the full pipeline behind the figure: memory-driven search
+per configuration and method, latency from the CMSIS-NN cycle model,
+accuracy from the surrogate, and the Pareto frontier of the resulting 32
+points.
+"""
+
+from repro.evaluation import experiments, paper_data
+from repro.evaluation.tables import render_table
+
+
+def test_benchmark_figure2_accuracy_latency(benchmark, record_report):
+    fig = benchmark(experiments.figure2)
+
+    rows = []
+    for p in sorted(fig["points"], key=lambda p: (p.label, p.method)):
+        rows.append([
+            p.label, p.method, round(p.top1, 2), round(p.cycles / 1e6, 1),
+            round(p.fps, 2), round(p.ro_bytes / (1024 * 1024), 2),
+            round(p.rw_peak_bytes / 1024, 0),
+        ])
+    report = render_table(
+        ["Config", "Method", "Top-1 (%)", "Mcycles", "fps", "RO (MB)", "RW peak (kB)"],
+        rows,
+        title="Figure 2 — accuracy-latency points on STM32H7 (MRO=2MB, MRW=512kB)",
+    )
+    frontier = "\nPareto frontier: " + ", ".join(
+        f"{p.label}({p.top1:.1f}%)" for p in fig["pareto"]
+    )
+    anchors = paper_data.FIGURE2_ANCHORS
+    fastest = min(fig["points"], key=lambda p: p.cycles)
+    slowest_accurate = max(
+        (p for p in fig["points"] if p.method == "MixQ-PC-ICN"), key=lambda p: p.top1
+    )
+    anchor_report = (
+        f"\npaper anchors: fastest {anchors['fastest_config']} ~{anchors['fastest_fps']} fps, "
+        f"most accurate {anchors['most_accurate_config']} ~{anchors['slowdown_most_accurate']}x slower"
+        f"\nreproduced   : fastest {fastest.label} {fastest.fps:.1f} fps, most accurate "
+        f"{slowest_accurate.label} {fastest.fps / slowest_accurate.fps:.1f}x slower"
+    )
+    record_report("figure2_tradeoff", report + frontier + anchor_report)
+
+    assert fastest.label == anchors["fastest_config"]
+    assert 0.5 * anchors["fastest_fps"] < fastest.fps < 1.6 * anchors["fastest_fps"]
+    assert all(p.feasible for p in fig["points"])

@@ -1,0 +1,38 @@
+"""E5 — Figure 3 (appendix): per-tensor weight/activation bit precision
+selected by the memory-driven procedure for every MobileNetV1 config
+under the STM32H7 budgets."""
+
+from repro.evaluation import experiments
+
+
+def _render_policy_ascii(policy) -> str:
+    """Compact per-layer bit map, e.g. 'w: 8 8 4 ...  /  a: 8 4 8 ...'."""
+    w = " ".join(str(lp.q_w) for lp in policy.layers)
+    a = " ".join(str(lp.q_out) for lp in policy.layers)
+    return f"    w: {w}\n    a: {a}"
+
+
+def test_benchmark_figure3_bit_assignments(benchmark, record_report):
+    result = benchmark(experiments.figure3)
+
+    lines = ["Figure 3 — per-tensor bit precision under MRO=2MB, MRW=512kB", ""]
+    for label in sorted(result.keys()):
+        lines.append(label)
+        for method_label, policy in result[label].items():
+            lines.append(f"  {method_label} (feasible={policy.feasible})")
+            lines.append(_render_policy_ascii(policy))
+        lines.append("")
+    record_report("figure3_bitwidths", "\n".join(lines))
+
+    # Qualitative structure reported in the paper's appendix:
+    # the small configurations keep homogeneous 8 bit, the width-1.0 ones
+    # cut several weight tensors, and cuts concentrate on the later
+    # (heavier) pointwise layers plus the classifier.
+    assert result["128_0.25"]["MixQ-PC-ICN"].is_uniform(8)
+    big = result["224_1.0"]["MixQ-PC-ICN"]
+    cut_layers = [i for i, lp in enumerate(big.layers) if lp.q_w < 8]
+    assert len(cut_layers) >= 3
+    assert min(cut_layers) > 5
+    for per_method in result.values():
+        for policy in per_method.values():
+            policy.validate()

@@ -1,0 +1,39 @@
+"""E1 — Table 1: memory requirements of a quantized convolutional layer.
+
+Regenerates the element counts of the four deployment strategies (PL+FB,
+PL+ICN, PC+ICN, PC+Thresholds) for a representative MobileNetV1 layer and
+the resulting whole-network read-only footprints, and times the memory
+model itself.
+"""
+
+from repro.core.policy import QuantMethod
+from repro.evaluation import experiments
+from repro.evaluation.tables import render_table
+
+
+def test_benchmark_table1_memory_model(benchmark, record_report):
+    result = benchmark(experiments.table1)
+
+    headers = ["Method", "Zx", "Weights", "Zw", "Bq", "M0", "N0", "Zy", "Thr",
+               "extra bytes", "network RO (MB)"]
+    rows = []
+    for method in QuantMethod:
+        entry = result["rows"][method.value]
+        c = entry["counts"]
+        rows.append([
+            method.value, c["Zx"], c["Weights"], c["Zw"], c["Bq"], c["M0"], c["N0"],
+            c["Zy"], c["Thr"], entry["layer_extra_bytes"],
+            entry["network_ro_bytes"] / (1024 * 1024),
+        ])
+    report = render_table(
+        headers, rows,
+        title=f"Table 1 — memory requirements of layer {result['layer']} "
+              f"({result['spec']}, Q_out = 4)",
+    )
+    record_report("table1_memory", report)
+
+    # Shape checks mirroring the paper's table.
+    pc = result["rows"]["PC+ICN"]["counts"]
+    thr = result["rows"]["PC+Thr"]["counts"]
+    assert thr["Thr"] == pc["Bq"] * 16
+    assert result["rows"]["PL+FB"]["layer_extra_bytes"] < result["rows"]["PC+ICN"]["layer_extra_bytes"]

@@ -1,0 +1,37 @@
+"""E2 — Table 2: integer-only MobileNetV1_224_1.0 under uniform INT8/INT4.
+
+Reproduces the accuracy / weight-memory comparison of the quantization
+strategies (surrogate accuracy, analytical footprint) and prints it next
+to the paper's reported numbers.
+"""
+
+from repro.evaluation import experiments, paper_data
+from repro.evaluation.tables import render_table
+
+
+def test_benchmark_table2_quantization_strategies(benchmark, record_report):
+    rows = benchmark(experiments.table2)
+
+    table_rows = []
+    for r in rows:
+        ref = paper_data.TABLE2.get(r.label, {})
+        table_rows.append([
+            r.label,
+            ref.get("top1", "-"),
+            round(r.top1, 2),
+            ref.get("weight_mb", "-"),
+            round(r.weight_mb, 2),
+        ])
+    report = render_table(
+        ["Strategy", "paper Top-1 (%)", "repro Top-1 (%)", "paper mem (MB)", "repro mem (MB)"],
+        table_rows,
+        title="Table 2 — Integer-only MobilenetV1_224_1.0 (paper vs reproduction)",
+    )
+    record_report("table2_int4", report)
+
+    by_label = {r.label: r for r in rows}
+    # The qualitative structure of Table 2 must hold.
+    assert by_label["PL+FB INT4"].top1 < 5.0                       # training collapse
+    assert by_label["PC+ICN INT4"].top1 > by_label["PL+ICN INT4"].top1
+    assert by_label["PL+FB INT8"].top1 > 68.0
+    assert by_label["PC+Thresholds INT4"].weight_mb > by_label["PC+ICN INT4"].weight_mb

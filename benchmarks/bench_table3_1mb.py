@@ -1,0 +1,36 @@
+"""E4 — Table 3: mixed-precision deployment under a 1 MB read-only budget,
+compared against integer-only INT8 deployments of smaller models."""
+
+from repro.evaluation import experiments, paper_data
+from repro.evaluation.tables import render_table
+
+
+def test_benchmark_table3_one_megabyte(benchmark, record_report):
+    rows = benchmark(experiments.table3)
+
+    table_rows = []
+    for r in rows:
+        key = f"{r.label} {r.method}".replace("MixQ-PC-ICN", "MixQ-PC-ICN")
+        paper_key = next((k for k in paper_data.TABLE3 if r.label in k and
+                          (("MixQ" in k) == ("MixQ" in r.method))), None)
+        paper_top1 = paper_data.TABLE3[paper_key]["top1"] if paper_key else "-"
+        table_rows.append([
+            r.label, r.method, paper_top1, round(r.top1, 2),
+            round(r.ro_mb, 2), round(r.rw_kb, 0), "yes" if r.feasible else "no",
+        ])
+    report = render_table(
+        ["Model", "Method", "paper Top-1", "repro Top-1", "RO (MB)", "RW (kB)", "fits"],
+        table_rows,
+        title="Table 3 — mixed-precision models under MRO = 1 MB (paper vs reproduction)",
+    )
+    record_report("table3_1mb", report)
+
+    by_key = {f"{r.label} {r.method}": r for r in rows}
+    ours_224 = by_key["MobilenetV1_224_0.5 MixQ-PC-ICN"]
+    ours_192 = by_key["MobilenetV1_192_0.5 MixQ-PC-ICN"]
+    int8_small = by_key["MobilenetV1_224_0.25 INT8 PL+FB [11]"]
+    # The paper's qualitative claims at 1 MB: our mixed models fit the budget
+    # and beat the INT8 model small enough to fit a comparable footprint.
+    assert ours_224.feasible and ours_224.ro_mb <= 1.0 + 1e-6
+    assert ours_192.feasible and ours_192.ro_mb <= 1.0 + 1e-6
+    assert ours_224.top1 > int8_small.top1 + 5.0

@@ -1,0 +1,31 @@
+"""Shared benchmark helpers: result directory and paper-vs-reproduced
+report writing.  Every bench regenerates one of the paper's tables or
+figures and records the comparison under ``benchmarks/results/``."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_report(results_dir):
+    """Write a named plain-text report next to the benchmark results."""
+
+    def _write(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {os.path.relpath(path)}]")
+        return path
+
+    return _write

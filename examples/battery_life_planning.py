@@ -1,0 +1,76 @@
+"""Battery-life planning for a duty-cycled visual smart sensor.
+
+The paper's motivation is multi-year battery life under a tens-of-mW power
+envelope.  This example combines the mixed-precision search, the latency
+model and the energy model to answer a deployment question: *which
+MobileNetV1 configuration should a battery-powered camera node use if it
+classifies a frame every five minutes and must last at least a year on a
+1000 mWh cell?*
+
+Run with:  python examples/battery_life_planning.py [--inferences-per-hour 12]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import repro
+from repro.evaluation.accuracy_model import AccuracyModel
+from repro.evaluation.tables import render_table
+from repro.mcu.energy import STM32H7_POWER, duty_cycle_report
+from repro.mcu.latency import network_cycles
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--inferences-per-hour", type=float, default=12.0)
+    parser.add_argument("--battery-mwh", type=float, default=1000.0)
+    parser.add_argument("--min-days", type=float, default=365.0,
+                        help="required battery life in days")
+    args = parser.parse_args()
+
+    device = repro.STM32H7
+    acc_model = AccuracyModel()
+    rows = []
+    candidates = []
+    for spec in repro.all_mobilenet_configs():
+        policy = repro.search_mixed_precision(
+            spec, device.flash_bytes, device.ram_bytes,
+            method=repro.QuantMethod.PC_ICN, strict=False,
+        )
+        if not policy.feasible:
+            continue
+        cycles = network_cycles(spec, policy).total_cycles
+        report = duty_cycle_report(
+            cycles, args.inferences_per_hour, device, STM32H7_POWER, args.battery_mwh
+        )
+        top1 = acc_model.predict_top1(spec, policy)
+        meets = report.battery_life_days >= args.min_days
+        rows.append([
+            spec.label, round(top1, 1), round(report.latency_ms, 0),
+            round(report.energy_per_inference_mj, 1),
+            round(report.average_power_mw, 3), round(report.battery_life_days, 0),
+            "yes" if meets else "no",
+        ])
+        if meets:
+            candidates.append((top1, spec.label, report))
+
+    print(render_table(
+        ["Config", "Top-1 (%)", "latency (ms)", "mJ/inf", "avg mW", "battery (days)", "meets target"],
+        rows,
+        title=(f"Duty-cycled deployment on {device.name}: "
+               f"{args.inferences_per_hour:g} inferences/hour, "
+               f"{args.battery_mwh:g} mWh battery"),
+    ))
+
+    if candidates:
+        best = max(candidates)
+        print(f"\nrecommended configuration: {best[1]} — {best[0]:.1f} % Top-1, "
+              f"{best[2].battery_life_days:.0f} days of battery life")
+    else:
+        print("\nno configuration meets the battery-life target; "
+              "reduce the inference rate or pick a lower-power device")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Deploy the whole MobileNetV1 family on a microcontroller (Figure 2).
+
+Sweeps all 16 <resolution>_<width multiplier> configurations under the
+STM32H7 memory budgets with both deployment strategies of the paper
+(MixQ-PL and MixQ-PC-ICN), prints the accuracy-latency table and the
+Pareto-optimal configurations, and reports the headline result: the most
+accurate network that fits 2 MB of Flash and 512 kB of RAM.
+
+Run with:  python examples/deploy_mobilenet_family.py [--flash-mb 2] [--ram-kb 512]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import repro
+from repro.evaluation import experiments
+from repro.evaluation.tables import render_table
+from repro.mcu.device import KB, MB
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--flash-mb", type=float, default=2.0,
+                        help="read-only memory budget in MB (default: 2)")
+    parser.add_argument("--ram-kb", type=int, default=512,
+                        help="read-write memory budget in kB (default: 512)")
+    args = parser.parse_args()
+
+    device = repro.STM32H7.with_budgets(
+        flash_bytes=int(args.flash_mb * MB), ram_bytes=args.ram_kb * KB
+    )
+    print(f"target: {device.name} with {args.flash_mb} MB Flash / {args.ram_kb} kB RAM\n")
+
+    fig = experiments.figure2(device=device)
+    rows = []
+    for p in sorted(fig["points"], key=lambda p: p.cycles):
+        rows.append([
+            p.label, p.method, round(p.top1, 2), round(p.fps, 2),
+            round(p.ro_bytes / MB, 2), round(p.rw_peak_bytes / KB, 0),
+            "yes" if p.feasible else "no",
+        ])
+    print(render_table(
+        ["Config", "Method", "Top-1 (%)", "fps", "Flash (MB)", "RAM peak (kB)", "fits"],
+        rows, title="Accuracy-latency trade-off (Figure 2)"))
+
+    print("\nPareto-optimal configurations (fastest to most accurate):")
+    for p in fig["pareto"]:
+        print(f"  {p.label:<24s} {p.top1:5.1f} %  {p.latency_cycles / 1e6:8.1f} Mcycles")
+
+    feasible = [p for p in fig["points"] if p.feasible]
+    best = max(feasible, key=lambda p: p.top1)
+    fastest = min(feasible, key=lambda p: p.cycles)
+    print(f"\nmost accurate deployment : {best.label} [{best.method}] "
+          f"{best.top1:.1f} % Top-1 at {best.fps:.2f} fps")
+    print(f"fastest deployment       : {fastest.label} [{fastest.method}] "
+          f"{fastest.top1:.1f} % Top-1 at {fastest.fps:.2f} fps")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: pick a MobileNetV1 configuration, run the memory-driven
+mixed-precision search for an STM32H7, and inspect the deployment report.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.core.memory_model import MemoryModel
+from repro.evaluation.accuracy_model import AccuracyModel
+
+
+def main() -> None:
+    # 1. Describe the network architecture (no weights are instantiated --
+    #    the search only needs layer shapes).
+    spec = repro.mobilenet_v1_spec(resolution=192, width_multiplier=0.75)
+    print(f"network          : {spec.name}")
+    print(f"quantized layers : {len(spec)}")
+    print(f"MACs             : {spec.total_macs / 1e6:.1f} M")
+    print(f"weights          : {spec.total_weights / 1e6:.2f} M parameters")
+
+    # 2. Target device: the paper's STM32H7 (2 MB Flash, 512 kB RAM, 400 MHz).
+    device = repro.STM32H7
+    print(f"\ndevice           : {device.name} "
+          f"({device.flash_mb:.0f} MB Flash, {device.ram_kb:.0f} kB RAM)")
+
+    # 3. Memory-driven mixed-precision search (Algorithms 1 and 2).
+    policy = repro.search_mixed_precision(
+        spec, ro_budget=device.flash_bytes, rw_budget=device.ram_bytes,
+        method=repro.QuantMethod.PC_ICN,
+    )
+    print("\nper-layer bit assignment (weights / activations):")
+    print(policy.summary())
+
+    # 4. Check the memory constraints and estimate latency on the device.
+    report = repro.deploy(spec, device, policy=policy)
+    print("\n" + report.summary())
+
+    # 5. Predicted ImageNet Top-1 from the calibrated surrogate.
+    top1 = AccuracyModel().predict_top1(spec, policy)
+    memory = MemoryModel(spec)
+    print(f"\npredicted Top-1  : {top1:.1f} % "
+          f"(full precision baseline {AccuracyModel().full_precision_top1(spec):.1f} %)")
+    print(f"read-only memory : {memory.ro_bytes(policy) / 1024 / 1024:.2f} MB")
+    print(f"read-write peak  : {memory.rw_peak_bytes(policy) / 1024:.0f} kB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — reproduction of "Memory-Driven Mixed Low Precision Quantization
+For Enabling Deep Network Inference On Microcontrollers" (Rusci,
+Capotondi, Benini — MLSYS 2020).
+
+Top-level convenience imports expose the main workflow:
+
+    spec   = repro.mobilenet_v1_spec(192, 0.5)
+    policy = repro.search_mixed_precision(spec, ro_budget, rw_budget)
+    report = repro.deploy(spec, repro.STM32H7)
+
+The heavier machinery (QAT, ICN conversion, integer inference) lives in
+the subpackages ``repro.core``, ``repro.nn``, ``repro.training``,
+``repro.inference``, ``repro.mcu`` and ``repro.evaluation``.
+"""
+
+from repro.core.policy import LayerPolicy, QuantMethod, QuantPolicy
+from repro.core.memory_model import MemoryModel
+from repro.core.mixed_precision import (
+    MemoryInfeasibleError,
+    search_mixed_precision,
+)
+from repro.core.graph_convert import convert_to_integer_network
+from repro.models.model_zoo import (
+    all_mobilenet_configs,
+    mobilenet_v1_spec,
+    NetworkSpec,
+    LayerSpec,
+)
+from repro.models.mobilenet_v1 import build_mobilenet_v1
+from repro.models.small_cnn import build_small_cnn, build_tiny_mobilenet
+from repro.mcu.device import MCUDevice, STM32H7, STM32F7, STM32F4, STM32L4
+from repro.mcu.deploy import deploy, DeploymentReport
+from repro.training.qat import prepare_qat, QATConfig, QATTrainer
+from repro.evaluation.accuracy_model import AccuracyModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LayerPolicy",
+    "QuantMethod",
+    "QuantPolicy",
+    "MemoryModel",
+    "MemoryInfeasibleError",
+    "search_mixed_precision",
+    "convert_to_integer_network",
+    "all_mobilenet_configs",
+    "mobilenet_v1_spec",
+    "NetworkSpec",
+    "LayerSpec",
+    "build_mobilenet_v1",
+    "build_small_cnn",
+    "build_tiny_mobilenet",
+    "MCUDevice",
+    "STM32H7",
+    "STM32F7",
+    "STM32F4",
+    "STM32L4",
+    "deploy",
+    "DeploymentReport",
+    "prepare_qat",
+    "QATConfig",
+    "QATTrainer",
+    "AccuracyModel",
+    "__version__",
+]

@@ -1,0 +1,189 @@
+"""Command line interface for the deployment flow.
+
+Installed as the ``repro-mcu`` console script::
+
+    repro-mcu search  --resolution 192 --width 0.75 --flash-mb 2 --ram-kb 512
+    repro-mcu deploy  --resolution 224 --width 0.75 --device stm32h7
+    repro-mcu sweep   --device stm32h7 --method PC+ICN
+    repro-mcu table   table2
+
+``search`` prints the per-tensor bit assignment (and optionally writes it
+as JSON), ``deploy`` adds the latency/memory report for a device preset,
+``sweep`` reproduces the Figure-2 style family sweep, and ``table``
+regenerates one of the paper's tables on the terminal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.core.memory_model import MemoryModel
+from repro.core.mixed_precision import search_mixed_precision
+from repro.core.policy import QuantMethod, QuantPolicy
+from repro.evaluation import experiments, paper_data
+from repro.evaluation.accuracy_model import AccuracyModel
+from repro.evaluation.tables import render_table
+from repro.mcu.deploy import deploy
+from repro.mcu.device import KB, MB, STM32F4, STM32F7, STM32H7, STM32L4, MCUDevice
+from repro.models.model_zoo import mobilenet_v1_spec
+
+DEVICE_PRESETS = {
+    "stm32h7": STM32H7,
+    "stm32f7": STM32F7,
+    "stm32f4": STM32F4,
+    "stm32l4": STM32L4,
+}
+
+
+def _resolve_device(args: argparse.Namespace) -> MCUDevice:
+    device = DEVICE_PRESETS[args.device]
+    flash = int(args.flash_mb * MB) if args.flash_mb is not None else None
+    ram = args.ram_kb * KB if args.ram_kb is not None else None
+    if flash is not None or ram is not None:
+        device = device.with_budgets(flash_bytes=flash, ram_bytes=ram)
+    return device
+
+
+def _add_network_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--resolution", type=int, default=224,
+                        help="input resolution (128/160/192/224)")
+    parser.add_argument("--width", type=float, default=1.0,
+                        help="width multiplier (0.25/0.5/0.75/1.0)")
+
+
+def _add_device_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--device", choices=sorted(DEVICE_PRESETS), default="stm32h7")
+    parser.add_argument("--flash-mb", type=float, default=None,
+                        help="override the device Flash budget in MB")
+    parser.add_argument("--ram-kb", type=int, default=None,
+                        help="override the device RAM budget in kB")
+    parser.add_argument("--method", choices=[m.value for m in QuantMethod],
+                        default=QuantMethod.PC_ICN.value)
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    spec = mobilenet_v1_spec(args.resolution, args.width)
+    device = _resolve_device(args)
+    method = QuantMethod(args.method)
+    policy = search_mixed_precision(
+        spec, device.flash_bytes, device.ram_bytes, method=method, strict=False
+    )
+    print(policy.summary())
+    memory = MemoryModel(spec)
+    print(f"\nread-only : {memory.ro_bytes(policy) / MB:.2f} MB "
+          f"(budget {device.flash_bytes / MB:.2f} MB)")
+    print(f"read-write: {memory.rw_peak_bytes(policy) / KB:.0f} kB "
+          f"(budget {device.ram_bytes / KB:.0f} kB)")
+    print(f"feasible  : {policy.feasible}")
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(policy.to_json())
+        print(f"policy written to {args.output}")
+    return 0 if policy.feasible else 1
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    spec = mobilenet_v1_spec(args.resolution, args.width)
+    device = _resolve_device(args)
+    method = QuantMethod(args.method)
+    policy: Optional[QuantPolicy] = None
+    if args.policy:
+        with open(args.policy) as fh:
+            policy = QuantPolicy.from_json(fh.read())
+    report = deploy(spec, device, method=method, policy=policy, strict=False)
+    print(report.summary())
+    top1 = AccuracyModel().predict_top1(spec, report.policy)
+    print(f"  predicted Top-1  : {top1:6.2f} %")
+    return 0 if report.fits else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    device = _resolve_device(args)
+    fig = experiments.figure2(device=device)
+    # Map the CLI method names onto the Figure-2 strategy labels; any other
+    # value (or --all-methods) shows both strategies.
+    method_to_label = {"PC+ICN": "MixQ-PC-ICN", "PL+ICN": "MixQ-PL"}
+    wanted = method_to_label.get(args.method)
+    rows = []
+    for p in sorted(fig["points"], key=lambda p: p.cycles):
+        if wanted is not None and p.method != wanted:
+            continue
+        rows.append([p.label, p.method, round(p.top1, 2), round(p.fps, 2),
+                     round(p.ro_bytes / MB, 2), "yes" if p.feasible else "no"])
+    print(render_table(
+        ["Config", "Method", "Top-1 (%)", "fps", "Flash (MB)", "fits"], rows,
+        title=f"MobileNetV1 family on {device.name}"))
+    print("\nPareto frontier:")
+    for p in fig["pareto"]:
+        print(f"  {p.label:<26s} {p.top1:5.1f} %  {p.latency_cycles / 1e6:8.1f} Mcycles")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "table1":
+        result = experiments.table1()
+        rows = [[m, r["counts"]["Zw"], r["counts"]["Bq"], r["counts"]["M0"],
+                 r["counts"]["Thr"], r["layer_extra_bytes"]]
+                for m, r in result["rows"].items()]
+        print(render_table(["Method", "Zw", "Bq", "M0", "Thr", "extra bytes"], rows,
+                           title=f"Table 1 ({result['layer']})"))
+    elif name == "table2":
+        rows = [[r.label, paper_data.TABLE2.get(r.label, {}).get("top1", "-"),
+                 round(r.top1, 2), round(r.weight_mb, 2)] for r in experiments.table2()]
+        print(render_table(["Strategy", "paper Top-1", "repro Top-1", "mem (MB)"], rows,
+                           title="Table 2"))
+    elif name == "table3":
+        rows = [[r.label, r.method, round(r.top1, 2), round(r.ro_mb, 2)]
+                for r in experiments.table3()]
+        print(render_table(["Model", "Method", "Top-1", "RO (MB)"], rows, title="Table 3"))
+    elif name == "table4":
+        result = experiments.table4()
+        rows = [[label, *paper_data.TABLE4[label], round(pl, 2), round(pc, 2)]
+                for label, (pl, pc) in result.items()]
+        print(render_table(
+            ["Config", "paper PL", "paper PC", "repro PL", "repro PC"], rows, title="Table 4"))
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-mcu", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_search = sub.add_parser("search", help="memory-driven mixed-precision search")
+    _add_network_args(p_search)
+    _add_device_args(p_search)
+    p_search.add_argument("--output", help="write the policy as JSON to this path")
+    p_search.set_defaults(func=_cmd_search)
+
+    p_deploy = sub.add_parser("deploy", help="deployment report for one configuration")
+    _add_network_args(p_deploy)
+    _add_device_args(p_deploy)
+    p_deploy.add_argument("--policy", help="use a previously saved policy JSON")
+    p_deploy.set_defaults(func=_cmd_deploy)
+
+    p_sweep = sub.add_parser("sweep", help="Figure-2 style sweep of the whole family")
+    _add_device_args(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+    p_sweep.add_argument("--all-methods", dest="method", action="store_const", const="all",
+                         help="show both MixQ-PL and MixQ-PC-ICN points")
+
+    p_table = sub.add_parser("table", help="regenerate one of the paper's tables")
+    p_table.add_argument("name", choices=["table1", "table2", "table3", "table4"])
+    p_table.set_defaults(func=_cmd_table)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Core contribution of the paper: quantizers, ICN conversion,
+memory model (Table 1) and the memory-driven mixed-precision search
+(Algorithms 1 and 2)."""
+
+from repro.core.quantizer import (
+    QuantSpec,
+    compute_affine_params,
+    quantize_affine,
+    dequantize_affine,
+    fake_quantize,
+    per_channel_minmax,
+    per_tensor_minmax,
+)
+from repro.core.policy import LayerPolicy, QuantPolicy, QuantMethod
+from repro.core.memory_model import (
+    MemoryModel,
+    tensor_bytes,
+    layer_weight_bytes,
+    layer_extra_params_bytes,
+    network_ro_bytes,
+    network_rw_peak_bytes,
+)
+from repro.core.mixed_precision import (
+    MemoryInfeasibleError,
+    cut_activation_bits,
+    cut_weight_bits,
+    search_mixed_precision,
+)
+from repro.core.fake_quant import (
+    PACTFakeQuant,
+    WeightFakeQuant,
+    QuantConvBNBlock,
+    QuantLinear,
+)
+from repro.core.icn import (
+    ICNParams,
+    FoldedBNParams,
+    ThresholdParams,
+    compute_icn_params,
+    compute_folded_params,
+    compute_thresholds,
+    decompose_fixed_point,
+    icn_requantize,
+)
+from repro.core.graph_convert import convert_to_integer_network
+from repro.core.range_estimators import (
+    RANGE_ESTIMATORS,
+    minmax_range,
+    percentile_range,
+    mse_range,
+    kl_divergence_range,
+    per_channel_ranges,
+    quantization_snr_db,
+)
+
+__all__ = [
+    "RANGE_ESTIMATORS",
+    "minmax_range",
+    "percentile_range",
+    "mse_range",
+    "kl_divergence_range",
+    "per_channel_ranges",
+    "quantization_snr_db",
+    "QuantSpec",
+    "compute_affine_params",
+    "quantize_affine",
+    "dequantize_affine",
+    "fake_quantize",
+    "per_channel_minmax",
+    "per_tensor_minmax",
+    "LayerPolicy",
+    "QuantPolicy",
+    "QuantMethod",
+    "MemoryModel",
+    "tensor_bytes",
+    "layer_weight_bytes",
+    "layer_extra_params_bytes",
+    "network_ro_bytes",
+    "network_rw_peak_bytes",
+    "MemoryInfeasibleError",
+    "cut_activation_bits",
+    "cut_weight_bits",
+    "search_mixed_precision",
+    "PACTFakeQuant",
+    "WeightFakeQuant",
+    "QuantConvBNBlock",
+    "QuantLinear",
+    "ICNParams",
+    "FoldedBNParams",
+    "ThresholdParams",
+    "compute_icn_params",
+    "compute_folded_params",
+    "compute_thresholds",
+    "decompose_fixed_point",
+    "icn_requantize",
+    "convert_to_integer_network",
+]

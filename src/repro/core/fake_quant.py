@@ -1,0 +1,319 @@
+"""Fake-quantization modules for quantization-aware training (paper §3–4).
+
+Three pieces are provided:
+
+* :class:`PACTFakeQuant` — activation quantizer with a learnable clipping
+  bound ``alpha`` (PACT [2]); the forward pass emulates the UINT-Q grid
+  with ``floor`` rounding (paper §3), the backward pass uses the
+  straight-through estimator for the input and the PACT gradient for
+  ``alpha``.
+* :class:`WeightFakeQuant` — weight quantizer supporting per-layer (PL)
+  min/max, per-channel (PC) min/max, and a per-layer learned symmetric
+  range ("pact" scheme) used for the PL configurations of the paper.
+* :class:`QuantConvBNBlock` / :class:`QuantLinear` — the fake-quantized
+  versions of a conv/bn/relu block and of the classifier, the sub-graphs
+  the ICN conversion (§4) later turns into integer-only layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.core.quantizer import (
+    QuantSpec,
+    broadcast_channelwise,
+    compute_affine_params,
+    dequantize_affine,
+    per_channel_minmax,
+    per_tensor_minmax,
+    quantize_affine,
+)
+from repro.models.mobilenet_v1 import ConvBNBlock
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter
+
+
+class PACTFakeQuant(Module):
+    """PACT activation fake-quantizer: ``quant_act(x) = floor(clamp(x,0,a)/S)*S``.
+
+    The clipping bound ``alpha`` is learned by backpropagation; the
+    quantization grid has ``2^bits`` levels on [0, alpha] with scale
+    ``S = alpha / (2^bits - 1)`` (paper §3).
+    """
+
+    def __init__(self, bits: int = 8, alpha_init: float = 6.0, learn_alpha: bool = True):
+        super().__init__()
+        if alpha_init <= 0:
+            raise ValueError("alpha_init must be positive")
+        self.bits = bits
+        self.learn_alpha = learn_alpha
+        self.alpha = Parameter(np.array([float(alpha_init)]), name="alpha",
+                               requires_grad=learn_alpha)
+        self.enabled = True
+        self._cache = None
+
+    def set_bits(self, bits: int) -> None:
+        self.bits = bits
+
+    @property
+    def scale(self) -> float:
+        """Current activation scale S_x = alpha / (2^Q - 1)."""
+        return float(self.alpha.data[0]) / (2 ** self.bits - 1)
+
+    @property
+    def zero_point(self) -> int:
+        """PACT activations are unsigned with a zero offset."""
+        return 0
+
+    def quant_spec(self) -> QuantSpec:
+        return QuantSpec(bits=self.bits, signed=False, per_channel=False)
+
+    def forward(self, x):
+        alpha = float(self.alpha.data[0])
+        if not self.enabled:
+            out = np.clip(x, 0.0, alpha)
+            self._cache = {"pass_mask": (x > 0) & (x < alpha), "clip_mask": x >= alpha}
+            return out
+        s = alpha / (2 ** self.bits - 1)
+        clipped = np.clip(x, 0.0, alpha)
+        q = np.floor(clipped / s)
+        q = np.clip(q, 0, 2 ** self.bits - 1)
+        out = q * s
+        self._cache = {
+            "pass_mask": (x > 0) & (x < alpha),
+            "clip_mask": x >= alpha,
+        }
+        return out
+
+    def backward(self, grad_out):
+        cache = self._cache
+        # STE for the input: gradient passes where the input was inside
+        # the clipping range, zero elsewhere.
+        grad_x = grad_out * cache["pass_mask"]
+        if self.learn_alpha:
+            # PACT: d(quant_act)/d(alpha) = 1 where x >= alpha, 0 otherwise
+            # (the quantization grid rescaling term is ignored, as in [2]).
+            grad_alpha = float(np.sum(grad_out * cache["clip_mask"]))
+            self.alpha.accumulate_grad(np.array([grad_alpha]))
+        return grad_x
+
+    def quantize_integer(self, x: np.ndarray) -> np.ndarray:
+        """Integer codes of an activation tensor (used by tests/diagnostics)."""
+        s = self.scale
+        q = np.floor(np.clip(x, 0.0, float(self.alpha.data[0])) / s)
+        return np.clip(q, 0, 2 ** self.bits - 1).astype(np.int64)
+
+
+class WeightFakeQuant:
+    """Weight fake-quantizer (stateless helper, not a Module).
+
+    Schemes
+    -------
+    ``"minmax_pl"``:
+        Asymmetric per-layer range from the tensor min/max (as in [11]).
+    ``"minmax_pc"``:
+        Asymmetric per-channel range along the output-channel axis ([13]).
+    ``"pact_pl"``:
+        Symmetric per-layer range with a learnable bound (PACT applied to
+        weights, used by the paper's PL configurations).
+    """
+
+    SCHEMES = ("minmax_pl", "minmax_pc", "pact_pl")
+
+    def __init__(self, bits: int = 8, scheme: str = "minmax_pc"):
+        if scheme not in self.SCHEMES:
+            raise ValueError(f"unknown weight quantization scheme {scheme!r}")
+        self.bits = bits
+        self.scheme = scheme
+        # Learnable symmetric bound for the pact_pl scheme; lazily
+        # initialised from the first tensor seen.
+        self.alpha: Optional[float] = None
+
+    def set_bits(self, bits: int) -> None:
+        self.bits = bits
+
+    @property
+    def per_channel(self) -> bool:
+        return self.scheme == "minmax_pc"
+
+    def spec(self) -> QuantSpec:
+        return QuantSpec(bits=self.bits, signed=False, per_channel=self.per_channel)
+
+    def ranges(self, w: np.ndarray):
+        """Quantization range (a, b) for the current scheme."""
+        if self.scheme == "minmax_pl":
+            a, b = per_tensor_minmax(w)
+            return np.float64(a), np.float64(b)
+        if self.scheme == "minmax_pc":
+            a, b = per_channel_minmax(w, axis=0)
+            return a, b
+        # pact_pl: symmetric learned bound.
+        if self.alpha is None:
+            self.alpha = float(np.max(np.abs(w))) or 1.0
+        return np.float64(-self.alpha), np.float64(self.alpha)
+
+    def quant_params(self, w: np.ndarray):
+        """(scale, zero_point, a, b) for the tensor under this scheme."""
+        a, b = self.ranges(w)
+        spec = self.spec()
+        if self.per_channel:
+            a_b = broadcast_channelwise(a, w.ndim, 0)
+            b_b = broadcast_channelwise(b, w.ndim, 0)
+            scale, zp = compute_affine_params(a, b, spec)
+            return scale, zp, a_b, b_b
+        scale, zp = compute_affine_params(a, b, spec)
+        return scale, zp, a, b
+
+    def fake_quantize(self, w: np.ndarray) -> np.ndarray:
+        """Quantize-then-dequantize with the scheme's range (STE forward)."""
+        spec = self.spec()
+        scale, zp, a, b = self.quant_params(w)
+        w_clamped = np.clip(w, a, b)
+        if self.per_channel:
+            scale_b = broadcast_channelwise(scale, w.ndim, 0)
+            zp_b = broadcast_channelwise(zp, w.ndim, 0)
+            q = quantize_affine(w_clamped, scale_b, zp_b, spec, rounding="round")
+            return dequantize_affine(q, scale_b, zp_b)
+        q = quantize_affine(w_clamped, scale, zp, spec, rounding="round")
+        return dequantize_affine(q, scale, zp)
+
+    def quantize_integer(self, w: np.ndarray):
+        """Integer codes plus (scale, zero_point) for deployment export."""
+        spec = self.spec()
+        scale, zp, a, b = self.quant_params(w)
+        w_clamped = np.clip(w, a, b)
+        if self.per_channel:
+            scale_b = broadcast_channelwise(scale, w.ndim, 0)
+            zp_b = broadcast_channelwise(zp, w.ndim, 0)
+            q = quantize_affine(w_clamped, scale_b, zp_b, spec, rounding="round")
+        else:
+            q = quantize_affine(w_clamped, scale, zp, spec, rounding="round")
+        return q, np.atleast_1d(scale), np.atleast_1d(zp)
+
+
+class QuantConvBNBlock(Module):
+    """Fake-quantized conv -> batch-norm -> PACT-quantized activation.
+
+    Wraps an existing :class:`~repro.models.mobilenet_v1.ConvBNBlock` so a
+    pretrained full-precision model can be converted in place for QAT.
+    ``fold_bn=True`` reproduces the PL+FB strategy of [11]: batch-norm
+    scale/shift are folded into the convolution weights *before* weight
+    quantization, which is exactly the step that breaks INT4 training
+    (Table 2) because the per-channel BN scale inflates the per-layer
+    weight range.
+    """
+
+    def __init__(
+        self,
+        block: ConvBNBlock,
+        weight_bits: int = 8,
+        act_bits: int = 8,
+        weight_scheme: str = "minmax_pc",
+        fold_bn: bool = False,
+        act_alpha_init: float = 6.0,
+    ):
+        super().__init__()
+        self.conv = block.conv
+        self.bn = block.bn
+        self.fold_bn = fold_bn
+        self.folding_active = False  # paper: folding starts at the 2nd epoch
+        self.weight_quant = WeightFakeQuant(bits=weight_bits, scheme=weight_scheme)
+        self.act_quant = PACTFakeQuant(bits=act_bits, alpha_init=act_alpha_init)
+        self._w_fp: Optional[np.ndarray] = None
+        self._fold_scale: Optional[np.ndarray] = None
+
+    # -- policy plumbing -------------------------------------------------
+    def set_bits(self, weight_bits: int, act_bits: int) -> None:
+        self.weight_quant.set_bits(weight_bits)
+        self.act_quant.set_bits(act_bits)
+
+    def enable_folding(self) -> None:
+        if self.fold_bn:
+            self.folding_active = True
+
+    # -- forward / backward ----------------------------------------------
+    def forward(self, x):
+        self._w_fp = self.conv.weight.data.copy()
+        if self.fold_bn and self.folding_active:
+            scale, shift = self.bn.channel_scale_shift()
+            self._fold_scale = scale
+            w_folded = self._w_fp * broadcast_channelwise(scale, self._w_fp.ndim, 0)
+            w_q = self.weight_quant.fake_quantize(w_folded)
+            self.conv.weight.data[...] = w_q
+            y = self.conv(x)
+            y = y + broadcast_channelwise(shift, y.ndim, 1)
+        else:
+            self._fold_scale = None
+            w_q = self.weight_quant.fake_quantize(self._w_fp)
+            self.conv.weight.data[...] = w_q
+            y = self.conv(x)
+            y = self.bn(y)
+        out = self.act_quant(y)
+        # Restore the full-precision master weights for the optimizer step.
+        self.conv.weight.data[...] = self._w_fp
+        return out
+
+    def backward(self, grad_out):
+        grad = self.act_quant.backward(grad_out)
+        if self.fold_bn and self.folding_active:
+            # Shift is a constant w.r.t. the conv output here (BN frozen
+            # during folded training), so the gradient passes through.
+            w_fp = self.conv.weight.data.copy()
+            w_folded_q = self.weight_quant.fake_quantize(
+                w_fp * broadcast_channelwise(self._fold_scale, w_fp.ndim, 0)
+            )
+            self.conv.weight.data[...] = w_folded_q
+            grad = self.conv.backward(grad)
+            self.conv.weight.data[...] = w_fp
+            # STE through quantization; chain rule through the folding scale.
+            self.conv.weight.grad *= broadcast_channelwise(
+                self._fold_scale, w_fp.ndim, 0
+            )
+        else:
+            grad = self.bn.backward(grad)
+            # The conv ran on quantized weights during forward; re-install
+            # them so the cached im2col buffers stay consistent, then
+            # restore the full-precision master copy (STE: the gradient
+            # w.r.t. quantized weights is used for the master weights).
+            w_fp = self.conv.weight.data.copy()
+            self.conv.weight.data[...] = self.weight_quant.fake_quantize(w_fp)
+            grad = self.conv.backward(grad)
+            self.conv.weight.data[...] = w_fp
+        return grad
+
+
+class QuantLinear(Module):
+    """Fake-quantized fully connected classifier.
+
+    The classifier input is the (already quantized) output of the last
+    conv block pooled spatially; its weights are quantized like any other
+    layer and its output stays in full precision (logits).
+    """
+
+    def __init__(self, linear: nn.Linear, weight_bits: int = 8,
+                 weight_scheme: str = "minmax_pc"):
+        super().__init__()
+        self.linear = linear
+        self.weight_quant = WeightFakeQuant(bits=weight_bits, scheme=weight_scheme)
+        self._w_fp: Optional[np.ndarray] = None
+
+    def set_bits(self, weight_bits: int) -> None:
+        self.weight_quant.set_bits(weight_bits)
+
+    def forward(self, x):
+        self._w_fp = self.linear.weight.data.copy()
+        w_q = self.weight_quant.fake_quantize(self._w_fp)
+        self.linear.weight.data[...] = w_q
+        out = self.linear(x)
+        self.linear.weight.data[...] = self._w_fp
+        return out
+
+    def backward(self, grad_out):
+        w_fp = self.linear.weight.data.copy()
+        self.linear.weight.data[...] = self.weight_quant.fake_quantize(w_fp)
+        grad = self.linear.backward(grad_out)
+        self.linear.weight.data[...] = w_fp
+        return grad

@@ -1,0 +1,160 @@
+"""Conversion of a fake-quantized model g(x) into the integer-only
+deployment model g'(x) (paper Fig. 1 and §4).
+
+The converter walks the conv/bn/quant-act blocks of a QAT-prepared model,
+extracts the learned quantization ranges and frozen batch-norm statistics,
+and materialises one :class:`~repro.inference.engine.IntegerConvLayer` per
+block with the requantization parameters of the chosen strategy:
+
+* ``PL+FB``  — fold batch-norm into per-layer-quantized weights ([11]);
+* ``PL+ICN`` / ``PC+ICN`` — keep batch-norm unfolded and insert the
+  Integer Channel-Normalization activation (Eq. 5);
+* ``PC+Thr`` — per-channel integer thresholds ([21, 8]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.fake_quant import QuantConvBNBlock, QuantLinear, WeightFakeQuant
+from repro.core.icn import (
+    compute_folded_params,
+    compute_icn_params,
+    compute_thresholds,
+)
+from repro.core.policy import QuantMethod
+from repro.inference.engine import (
+    IntegerAvgPool,
+    IntegerConvLayer,
+    IntegerLinearLayer,
+    IntegerNetwork,
+)
+from repro.nn.layers import DepthwiseConv2d
+
+
+def _layer_kind(conv) -> str:
+    if isinstance(conv, DepthwiseConv2d):
+        return "dw"
+    if getattr(conv, "kernel_size", None) == 1:
+        return "pw"
+    return "conv"
+
+
+def _convert_block(
+    block: QuantConvBNBlock,
+    method: QuantMethod,
+    in_scale: float,
+    in_zero_point: int,
+    in_bits: int,
+    name: str,
+) -> IntegerConvLayer:
+    conv = block.conv
+    bn = block.bn
+    out_bits = block.act_quant.bits
+    out_scale = block.act_quant.scale
+    z_y = block.act_quant.zero_point
+    w_bits = block.weight_quant.bits
+    conv_bias = conv.bias.data if getattr(conv, "bias", None) is not None else None
+
+    if method is QuantMethod.PL_FB:
+        scale, shift = bn.channel_scale_shift()
+        w_folded = conv.weight.data * scale.reshape((-1,) + (1,) * (conv.weight.data.ndim - 1))
+        folder = WeightFakeQuant(bits=w_bits, scheme="minmax_pl")
+        w_q, s_w, z_w = folder.quantize_integer(w_folded)
+        folded_bias = shift if conv_bias is None else shift + conv_bias * scale
+        params = compute_folded_params(
+            w_q, float(s_w[0]), int(z_w[0]), in_scale, in_zero_point,
+            out_scale, z_y, out_bits, w_bits, folded_bias,
+        )
+    else:
+        w_q, s_w, z_w = block.weight_quant.quantize_integer(conv.weight.data)
+        per_channel = block.weight_quant.per_channel
+        std = np.sqrt(bn._buffers["running_var"] + bn.eps)
+        icn = compute_icn_params(
+            w_q,
+            s_w if per_channel else float(s_w[0]),
+            z_w if per_channel else int(z_w[0]),
+            in_scale, in_zero_point, out_scale, z_y, out_bits, w_bits,
+            bn_gamma=bn.gamma.data,
+            bn_beta=bn.beta.data,
+            bn_mean=bn._buffers["running_mean"],
+            bn_std=std,
+            conv_bias=conv_bias,
+            per_channel=per_channel,
+        )
+        params = compute_thresholds(icn) if method is QuantMethod.PC_THRESHOLDS else icn
+
+    return IntegerConvLayer(
+        name=name,
+        kind=_layer_kind(conv),
+        stride=conv.stride,
+        padding=conv.padding,
+        params=params,
+        in_bits=in_bits,
+        out_bits=out_bits,
+        in_scale=in_scale,
+        out_scale=out_scale,
+    )
+
+
+def convert_to_integer_network(
+    model,
+    method: QuantMethod = QuantMethod.PC_ICN,
+    input_scale: float = 1.0 / 255.0,
+    input_zero_point: int = 0,
+    input_bits: int = 8,
+) -> IntegerNetwork:
+    """Convert a QAT-prepared model into an :class:`IntegerNetwork`.
+
+    ``model`` must expose ``features`` (a Sequential of
+    :class:`QuantConvBNBlock`), ``pool`` and ``classifier`` (a
+    :class:`QuantLinear`) — the structure produced by
+    :func:`repro.training.qat.prepare_qat`.
+    """
+    blocks = list(model.features)
+    if not blocks:
+        raise ValueError("model has no convolutional blocks to convert")
+    for i, b in enumerate(blocks):
+        if not isinstance(b, QuantConvBNBlock):
+            raise TypeError(
+                f"block {i} is {type(b).__name__}; run prepare_qat() before conversion"
+            )
+
+    conv_layers = []
+    in_scale = input_scale
+    in_zp = input_zero_point
+    in_bits = input_bits
+    for i, block in enumerate(blocks):
+        layer = _convert_block(block, method, in_scale, in_zp, in_bits, name=f"layer{i}")
+        conv_layers.append(layer)
+        in_scale = block.act_quant.scale
+        in_zp = block.act_quant.zero_point
+        in_bits = block.act_quant.bits
+
+    classifier: Optional[IntegerLinearLayer] = None
+    if isinstance(getattr(model, "classifier", None), QuantLinear):
+        qlin = model.classifier
+        w_q, s_w, z_w = qlin.weight_quant.quantize_integer(qlin.linear.weight.data)
+        bias = qlin.linear.bias.data if qlin.linear.bias is not None else None
+        classifier = IntegerLinearLayer(
+            name="classifier",
+            weights_q=w_q,
+            z_w=z_w,
+            s_w=s_w,
+            z_x=in_zp,
+            s_in=in_scale,
+            bias=bias,
+            in_bits=in_bits,
+            w_bits=qlin.weight_quant.bits,
+        )
+
+    return IntegerNetwork(
+        conv_layers=conv_layers,
+        pool=IntegerAvgPool(),
+        classifier=classifier,
+        input_scale=input_scale,
+        input_zero_point=input_zero_point,
+        input_bits=input_bits,
+    )

@@ -1,0 +1,211 @@
+"""Memory model of quantized convolutional layers (paper Table 1, Eq. 6–7).
+
+The model distinguishes, per microcontroller architecture (§5):
+
+* **Read-only (RO) memory** — Flash: quantized weights plus the per-layer
+  static parameters of the requantization method (zero points, ``Bq``,
+  ``M0``, ``N0`` or thresholds).  Constraint Eq. 6.
+* **Read-write (RW) memory** — RAM: the input and output activation
+  tensors of the layer currently executing (output-stationary dataflow
+  keeps exactly one such pair alive).  Constraint Eq. 7.
+
+Datatype conventions follow §4.1: zero points are UINT8 (Zw becomes a
+per-channel INT16 vector under PC), ``Bq`` and ``M0`` are INT32, ``N0`` is
+INT8 and thresholds are INT32.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.policy import LayerPolicy, QuantMethod, QuantPolicy
+from repro.models.model_zoo import LayerSpec, NetworkSpec
+
+# Byte widths of the auxiliary datatypes (§4.1).
+_BYTES_UINT8 = 1
+_BYTES_INT8 = 1
+_BYTES_INT16 = 2
+_BYTES_INT32 = 4
+
+
+def tensor_bytes(count: int, bits: int) -> int:
+    """Memory footprint in bytes of ``count`` elements stored at ``bits``
+    bits each (sub-byte values are bit-packed, so the total is rounded up
+    to whole bytes once per tensor)."""
+    if count < 0:
+        raise ValueError("element count must be non-negative")
+    if bits <= 0:
+        raise ValueError("bit width must be positive")
+    return math.ceil(count * bits / 8)
+
+
+def layer_weight_bytes(layer: LayerSpec, q_w: int) -> int:
+    """Bytes of the packed UINT-Q weight tensor of one layer."""
+    return tensor_bytes(layer.weight_count, q_w)
+
+
+def layer_extra_params_bytes(
+    layer: LayerSpec,
+    method: QuantMethod,
+    q_out: int = 8,
+) -> int:
+    """The ``MT_A`` term of Eq. 6: static per-layer parameters (Table 1).
+
+    Parameters
+    ----------
+    layer:
+        Shape of the convolutional layer (``c_O`` drives the vector sizes).
+    method:
+        Deployment strategy; determines which parameter vectors exist and
+        whether they are scalars (per-layer) or per-channel vectors.
+    q_out:
+        Output activation bit width; only the thresholds method depends on
+        it (``c_O * 2^Q`` thresholds).
+    """
+    c_o = layer.out_channels
+    zx = _BYTES_UINT8
+    zy = _BYTES_UINT8
+    if method is QuantMethod.PL_FB:
+        # Scalars Zw, M0, N0; per-channel Bq.
+        return zx + zy + _BYTES_UINT8 + c_o * _BYTES_INT32 + _BYTES_INT32 + _BYTES_INT8
+    if method is QuantMethod.PL_ICN:
+        return zx + zy + _BYTES_UINT8 + c_o * (_BYTES_INT32 + _BYTES_INT32 + _BYTES_INT8)
+    if method is QuantMethod.PC_ICN:
+        return (
+            zx + zy + c_o * _BYTES_INT16
+            + c_o * (_BYTES_INT32 + _BYTES_INT32 + _BYTES_INT8)
+        )
+    if method is QuantMethod.PC_THRESHOLDS:
+        return zx + zy + c_o * _BYTES_INT16 + c_o * (2 ** q_out) * _BYTES_INT32
+    raise ValueError(f"unknown method {method}")
+
+
+def layer_ro_bytes(layer: LayerSpec, policy: LayerPolicy, method: QuantMethod) -> int:
+    """Read-only footprint of one layer: weights + static parameters."""
+    return layer_weight_bytes(layer, policy.q_w) + layer_extra_params_bytes(
+        layer, method, policy.q_out
+    )
+
+
+def layer_rw_bytes(layer: LayerSpec, policy: LayerPolicy) -> int:
+    """Read-write footprint of one layer: input + output activations (Eq. 7)."""
+    return tensor_bytes(layer.input_activation_count, policy.q_in) + tensor_bytes(
+        layer.output_activation_count, policy.q_out
+    )
+
+
+def network_ro_bytes(spec: NetworkSpec, policy: QuantPolicy) -> int:
+    """Total read-only footprint of the network (left-hand side of Eq. 6)."""
+    if len(spec) != len(policy):
+        raise ValueError(
+            f"policy has {len(policy)} layers but spec has {len(spec)}"
+        )
+    return sum(
+        layer_ro_bytes(layer, lp, policy.method)
+        for layer, lp in zip(spec.layers, policy.layers)
+    )
+
+
+def network_rw_peak_bytes(spec: NetworkSpec, policy: QuantPolicy) -> int:
+    """Peak read-write footprint across layers (binding term of Eq. 7)."""
+    if len(spec) != len(policy):
+        raise ValueError(
+            f"policy has {len(policy)} layers but spec has {len(spec)}"
+        )
+    return max(
+        layer_rw_bytes(layer, lp) for layer, lp in zip(spec.layers, policy.layers)
+    )
+
+
+@dataclass
+class MemoryReport:
+    """Breakdown of a network's memory use under a policy."""
+
+    network: str
+    method: QuantMethod
+    ro_bytes: int
+    rw_peak_bytes: int
+    per_layer_ro: List[int]
+    per_layer_rw: List[int]
+
+    @property
+    def ro_mb(self) -> float:
+        return self.ro_bytes / (1024 * 1024)
+
+    @property
+    def rw_kb(self) -> float:
+        return self.rw_peak_bytes / 1024
+
+
+class MemoryModel:
+    """Convenience wrapper bundling a spec with the Table-1 cost formulas."""
+
+    def __init__(self, spec: NetworkSpec):
+        self.spec = spec
+
+    def weight_bytes(self, policy: QuantPolicy) -> int:
+        return sum(
+            layer_weight_bytes(l, p.q_w) for l, p in zip(self.spec.layers, policy.layers)
+        )
+
+    def ro_bytes(self, policy: QuantPolicy) -> int:
+        return network_ro_bytes(self.spec, policy)
+
+    def rw_peak_bytes(self, policy: QuantPolicy) -> int:
+        return network_rw_peak_bytes(self.spec, policy)
+
+    def rw_bytes_per_layer(self, policy: QuantPolicy) -> List[int]:
+        return [layer_rw_bytes(l, p) for l, p in zip(self.spec.layers, policy.layers)]
+
+    def ro_bytes_per_layer(self, policy: QuantPolicy) -> List[int]:
+        return [
+            layer_ro_bytes(l, p, policy.method)
+            for l, p in zip(self.spec.layers, policy.layers)
+        ]
+
+    def fits(self, policy: QuantPolicy, ro_budget: int, rw_budget: int) -> bool:
+        """Whether both Eq. 6 and Eq. 7 are satisfied."""
+        return (
+            self.ro_bytes(policy) <= ro_budget
+            and self.rw_peak_bytes(policy) <= rw_budget
+        )
+
+    def report(self, policy: QuantPolicy) -> MemoryReport:
+        return MemoryReport(
+            network=self.spec.name,
+            method=policy.method,
+            ro_bytes=self.ro_bytes(policy),
+            rw_peak_bytes=self.rw_peak_bytes(policy),
+            per_layer_ro=self.ro_bytes_per_layer(policy),
+            per_layer_rw=self.rw_bytes_per_layer(policy),
+        )
+
+
+def table1_row(layer: LayerSpec, method: QuantMethod, q_out: int = 8) -> Dict[str, int]:
+    """Element counts of Table 1 for one layer and one method.
+
+    Returns the number of *elements* (not bytes) of each parameter array,
+    matching the columns of the paper's Table 1.
+    """
+    c_o = layer.out_channels
+    row = {
+        "Zx": 1,
+        "Weights": layer.weight_count,
+        "Zw": c_o if method.per_channel else 1,
+        "Bq": 0,
+        "M0": 0,
+        "N0": 0,
+        "Zy": 1,
+        "Thr": 0,
+    }
+    if method is QuantMethod.PL_FB:
+        row.update(Bq=c_o, M0=1, N0=1)
+    elif method is QuantMethod.PL_ICN:
+        row.update(Bq=c_o, M0=c_o, N0=c_o)
+    elif method is QuantMethod.PC_ICN:
+        row.update(Bq=c_o, M0=c_o, N0=c_o)
+    elif method is QuantMethod.PC_THRESHOLDS:
+        row.update(Thr=c_o * 2 ** q_out)
+    return row

@@ -1,0 +1,252 @@
+"""Memory-driven mixed-precision bit selection (paper §5, Algorithms 1–2).
+
+Given a network spec and the RO/RW memory budgets of a device, the search
+assigns a bit width from {8, 4, 2} to every activation and weight tensor:
+
+* :func:`cut_activation_bits` (Algorithm 1) sweeps the layer list forward
+  and backward, cutting the output (forward) or input (backward) tensor of
+  any layer whose activation pair exceeds the RW budget, as decided by the
+  ``CutBits`` rule: the victim must be above the minimum precision and
+  either hold more bits than its sibling tensor, or the same bits but a
+  larger footprint.
+* :func:`cut_weight_bits` (Algorithm 2) repeatedly scores layers by their
+  share of the total weight footprint and cuts the earliest layer whose
+  score is within ``delta`` of the maximum, which biases cuts toward
+  central layers and away from the quantization-critical final layers.
+
+Both procedures apply one *step* per cut (8 -> 4 -> 2).  The search is
+static: it runs before quantization-aware retraining (§2, "Compared to
+this, our methodology ... applies statically").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.memory_model import (
+    layer_extra_params_bytes,
+    layer_weight_bytes,
+    tensor_bytes,
+)
+from repro.core.policy import QuantMethod, QuantPolicy
+from repro.models.model_zoo import NetworkSpec
+
+#: Admissible precisions, ordered from highest to lowest (paper §5).
+BIT_STEPS: Sequence[int] = (8, 4, 2)
+
+
+class MemoryInfeasibleError(RuntimeError):
+    """Raised when no bit assignment within {8,4,2} satisfies the budgets."""
+
+
+def _next_step_down(bits: int) -> int:
+    """One quantization step down (8 -> 4 -> 2); raises at the bottom."""
+    idx = BIT_STEPS.index(bits)
+    if idx == len(BIT_STEPS) - 1:
+        raise ValueError(f"cannot reduce below {bits} bits")
+    return BIT_STEPS[idx + 1]
+
+
+def _cut_bits_rule(
+    mem_keep: int, q_keep: int, mem_cut: int, q_cut: int, q_min: int
+) -> bool:
+    """The ``CutBits`` predicate of Algorithm 1.
+
+    ``(mem_keep, q_keep)`` describe the tensor that is *not* being cut this
+    pass (x during forward, y during backward); ``(mem_cut, q_cut)`` the
+    candidate.  Returns True when the candidate's precision should be
+    decremented.
+    """
+    if q_cut <= q_min:
+        return False
+    if q_cut > q_keep:
+        return True
+    if q_cut == q_keep and mem_cut > mem_keep:
+        return True
+    return False
+
+
+def cut_activation_bits(
+    spec: NetworkSpec,
+    policy: QuantPolicy,
+    rw_budget: int,
+    q_min: int = 2,
+    max_outer_iterations: int = 64,
+) -> QuantPolicy:
+    """Algorithm 1: cut activation bits until Eq. 7 holds for every layer.
+
+    The policy is modified in place (and also returned).  ``q_in`` of the
+    first layer is never touched (the sensor input is fixed at 8 bit).
+
+    Raises
+    ------
+    MemoryInfeasibleError
+        If the RW constraint cannot be met even at the minimum precision.
+    """
+    if q_min not in BIT_STEPS:
+        raise ValueError(f"q_min must be one of {tuple(BIT_STEPS)}")
+    layers = spec.layers
+    n = len(layers)
+    if n != len(policy):
+        raise ValueError("policy and spec layer counts differ")
+
+    def mem_in(i: int) -> int:
+        return tensor_bytes(layers[i].input_activation_count, policy[i].q_in)
+
+    def mem_out(i: int) -> int:
+        return tensor_bytes(layers[i].output_activation_count, policy[i].q_out)
+
+    def violated(i: int) -> bool:
+        return mem_in(i) + mem_out(i) > rw_budget
+
+    def set_q_out(i: int, q: int) -> None:
+        policy[i].q_out = q
+        if i + 1 < n:
+            policy[i + 1].q_in = q
+
+    def set_q_in(i: int, q: int) -> None:
+        policy[i].q_in = q
+        if i - 1 >= 0:
+            policy[i - 1].q_out = q
+
+    for _ in range(max_outer_iterations):
+        if not any(violated(i) for i in range(n)):
+            policy.feasible = True
+            return policy
+        cuts_applied = 0
+        # Forward pass: cut output tensors.
+        for i in range(0, n - 1):
+            while violated(i) and _cut_bits_rule(
+                mem_in(i), policy[i].q_in, mem_out(i), policy[i].q_out, q_min
+            ):
+                set_q_out(i, _next_step_down(policy[i].q_out))
+                cuts_applied += 1
+        # Backward pass: cut input tensors.
+        for i in range(n - 1, 0, -1):
+            while violated(i) and _cut_bits_rule(
+                mem_out(i), policy[i].q_out, mem_in(i), policy[i].q_in, q_min
+            ):
+                set_q_in(i, _next_step_down(policy[i].q_in))
+                cuts_applied += 1
+        if cuts_applied == 0:
+            # Tie-break not covered by the paper's rule: a violated layer
+            # whose input and output have the same precision and the same
+            # footprint would never be cut.  Cut the output tensor (or the
+            # input when the output is already at the minimum).
+            for i in range(n):
+                if not violated(i):
+                    continue
+                if policy[i].q_out > q_min and i < n - 1:
+                    set_q_out(i, _next_step_down(policy[i].q_out))
+                    cuts_applied += 1
+                elif policy[i].q_in > q_min and i > 0:
+                    set_q_in(i, _next_step_down(policy[i].q_in))
+                    cuts_applied += 1
+            if cuts_applied == 0:
+                break
+
+    if any(violated(i) for i in range(n)):
+        policy.feasible = False
+        raise MemoryInfeasibleError(
+            f"RW budget of {rw_budget} bytes cannot be met for {spec.name}: "
+            f"peak activation pair is "
+            f"{max(mem_in(i) + mem_out(i) for i in range(n))} bytes at the "
+            f"minimum precision reachable by Algorithm 1"
+        )
+    policy.feasible = True
+    return policy
+
+
+def cut_weight_bits(
+    spec: NetworkSpec,
+    policy: QuantPolicy,
+    ro_budget: int,
+    q_min: int = 2,
+    delta: float = 0.05,
+    max_iterations: int = 10_000,
+) -> QuantPolicy:
+    """Algorithm 2: cut weight bits until Eq. 6 holds.
+
+    ``delta`` is the margin of the layer-score rule: among all layers whose
+    footprint ratio is within ``delta`` of the maximum, the one with the
+    smallest index is cut, which favours central layers over the final
+    (quantization-critical) ones.
+    """
+    if q_min not in BIT_STEPS:
+        raise ValueError(f"q_min must be one of {tuple(BIT_STEPS)}")
+    if not 0 <= delta < 1:
+        raise ValueError("delta must be in [0, 1)")
+    layers = spec.layers
+    if len(layers) != len(policy):
+        raise ValueError("policy and spec layer counts differ")
+
+    def ro_total() -> int:
+        return sum(
+            layer_weight_bytes(l, p.q_w)
+            + layer_extra_params_bytes(l, policy.method, p.q_out)
+            for l, p in zip(layers, policy.layers)
+        )
+
+    for _ in range(max_iterations):
+        if ro_total() <= ro_budget:
+            policy.feasible = policy.feasible and True
+            return policy
+        weight_total = sum(layer_weight_bytes(l, p.q_w) for l, p in zip(layers, policy.layers))
+        scores = []
+        for i, (l, p) in enumerate(zip(layers, policy.layers)):
+            if p.q_w > q_min:
+                scores.append((i, layer_weight_bytes(l, p.q_w) / max(weight_total, 1)))
+        if not scores:
+            break
+        r_max = max(r for _, r in scores)
+        # The paper states "ri > (R - delta)"; >= keeps the rule well defined
+        # for delta = 0 (the maximal layer itself always qualifies).
+        candidates = [i for i, r in scores if r >= r_max - delta]
+        k = min(candidates)
+        policy[k].q_w = _next_step_down(policy[k].q_w)
+
+    if ro_total() > ro_budget:
+        policy.feasible = False
+        raise MemoryInfeasibleError(
+            f"RO budget of {ro_budget} bytes cannot be met for {spec.name}: "
+            f"footprint is {ro_total()} bytes with every weight tensor at "
+            f"{q_min} bits"
+        )
+    return policy
+
+
+def search_mixed_precision(
+    spec: NetworkSpec,
+    ro_budget: int,
+    rw_budget: int,
+    method: QuantMethod = QuantMethod.PC_ICN,
+    q_min_act: int = 2,
+    q_min_w: int = 2,
+    delta: float = 0.05,
+    strict: bool = True,
+) -> QuantPolicy:
+    """End-to-end memory-driven search (§5): activations first, then weights.
+
+    Parameters
+    ----------
+    spec:
+        The network's layer shapes.
+    ro_budget, rw_budget:
+        Flash and RAM budgets in bytes (e.g. 2 MB / 512 kB for STM32H7).
+    method:
+        Deployment strategy; affects the ``MT_A`` term of Eq. 6.
+    strict:
+        When False, infeasible budgets return the best-effort policy with
+        ``feasible=False`` instead of raising.
+    """
+    policy = QuantPolicy.uniform(spec, method=method, bits=8)
+    try:
+        cut_activation_bits(spec, policy, rw_budget, q_min=q_min_act)
+        cut_weight_bits(spec, policy, ro_budget, q_min=q_min_w, delta=delta)
+    except MemoryInfeasibleError:
+        if strict:
+            raise
+        policy.feasible = False
+        policy.notes = "budgets infeasible within {8,4,2}-bit precision"
+    policy.link_activations()
+    return policy

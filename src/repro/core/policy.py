@@ -1,0 +1,162 @@
+"""Quantization policies: the per-tensor bit assignment the search produces.
+
+A :class:`QuantPolicy` is the artifact connecting the three stages of the
+flow: the memory-driven search writes it, the QAT stage reads it to build
+fake-quantized layers, and the deployment stage reads it to size the
+integer-only graph and the MCU memory/latency reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, asdict
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.models.model_zoo import NetworkSpec
+
+
+class QuantMethod(str, Enum):
+    """Deployment strategies compared in the paper (Tables 1 and 2)."""
+
+    PL_FB = "PL+FB"            # per-layer quantization, batch-norm folding [11]
+    PL_ICN = "PL+ICN"          # per-layer quantization, ICN activation (ours)
+    PC_ICN = "PC+ICN"          # per-channel quantization, ICN activation (ours)
+    PC_THRESHOLDS = "PC+Thr"   # per-channel quantization, integer thresholds [21, 8]
+
+    @property
+    def per_channel(self) -> bool:
+        return self in (QuantMethod.PC_ICN, QuantMethod.PC_THRESHOLDS)
+
+    @property
+    def uses_icn(self) -> bool:
+        return self in (QuantMethod.PL_ICN, QuantMethod.PC_ICN)
+
+    @property
+    def folds_batchnorm(self) -> bool:
+        return self is QuantMethod.PL_FB
+
+
+@dataclass
+class LayerPolicy:
+    """Bit precision assignment of one quantized convolutional layer.
+
+    ``q_in`` / ``q_out`` are the activation bit widths Q_x and Q_y; ``q_w``
+    is the weight bit width Q_w.  Because y_i == x_{i+1} the policies of
+    adjacent layers share their boundary value by construction.
+    """
+
+    index: int
+    name: str
+    q_w: int = 8
+    q_in: int = 8
+    q_out: int = 8
+
+    def as_dict(self) -> Dict:
+        return asdict(self)
+
+
+@dataclass
+class QuantPolicy:
+    """Per-network bit assignment plus the deployment method."""
+
+    network: str
+    method: QuantMethod
+    layers: List[LayerPolicy] = field(default_factory=list)
+    feasible: bool = True
+    notes: str = ""
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        spec: NetworkSpec,
+        method: QuantMethod = QuantMethod.PC_ICN,
+        bits: int = 8,
+        input_bits: int = 8,
+    ) -> "QuantPolicy":
+        """A homogeneous policy (the initialisation of Algorithms 1/2)."""
+        layers = []
+        for i, layer in enumerate(spec.layers):
+            q_in = input_bits if i == 0 else bits
+            layers.append(LayerPolicy(index=i, name=layer.name, q_w=bits, q_in=q_in, q_out=bits))
+        # chain consistency: q_out[i] == q_in[i+1]
+        for i in range(len(layers) - 1):
+            layers[i].q_out = layers[i + 1].q_in
+        return cls(network=spec.name, method=method, layers=layers)
+
+    # -- accessors ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> LayerPolicy:
+        return self.layers[idx]
+
+    def weight_bits(self) -> List[int]:
+        return [l.q_w for l in self.layers]
+
+    def activation_bits(self) -> List[int]:
+        """Output-activation bit widths Q_y per layer."""
+        return [l.q_out for l in self.layers]
+
+    def is_uniform(self, bits: int = 8) -> bool:
+        return all(l.q_w == bits and l.q_out == bits for l in self.layers) and all(
+            l.q_in == bits for l in self.layers[1:]
+        )
+
+    def link_activations(self) -> None:
+        """Re-impose the chain constraint q_out[i] == q_in[i+1]."""
+        for i in range(len(self.layers) - 1):
+            self.layers[i + 1].q_in = self.layers[i].q_out
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the policy violates structural invariants."""
+        from repro.core.quantizer import VALID_BITS
+
+        for i, l in enumerate(self.layers):
+            for q in (l.q_w, l.q_in, l.q_out):
+                if q not in VALID_BITS:
+                    raise ValueError(f"layer {l.name}: bit width {q} not in {VALID_BITS}")
+            if i > 0 and l.q_in != self.layers[i - 1].q_out:
+                raise ValueError(
+                    f"activation chain broken at layer {i}: q_in={l.q_in} but "
+                    f"previous q_out={self.layers[i - 1].q_out}"
+                )
+        if self.layers and self.layers[0].q_in != 8:
+            raise ValueError("the network input is fixed at 8 bit (paper §5)")
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "network": self.network,
+            "method": self.method.value,
+            "feasible": self.feasible,
+            "notes": self.notes,
+            "layers": [l.as_dict() for l in self.layers],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "QuantPolicy":
+        method = QuantMethod(d["method"])
+        layers = [LayerPolicy(**l) for l in d["layers"]]
+        return cls(
+            network=d["network"],
+            method=method,
+            layers=layers,
+            feasible=d.get("feasible", True),
+            notes=d.get("notes", ""),
+        )
+
+    @classmethod
+    def from_json(cls, s: str) -> "QuantPolicy":
+        return cls.from_dict(json.loads(s))
+
+    def summary(self) -> str:
+        """Compact human-readable description (used by examples/benches)."""
+        rows = [f"policy for {self.network} [{self.method.value}]"]
+        for l in self.layers:
+            rows.append(f"  {l.index:2d} {l.name:<14s} w={l.q_w} in={l.q_in} out={l.q_out}")
+        return "\n".join(rows)

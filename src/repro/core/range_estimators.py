@@ -1,0 +1,137 @@
+"""Alternative weight-range estimators for the uniform quantizer.
+
+The paper quantizes weights from min/max statistics (per-channel) or PACT
+(per-layer), but its related-work section discusses range selection by
+statistical analysis — TensorRT's KL-divergence calibration [18] and
+percentile clipping.  These estimators are provided both for completeness
+and for the range-estimator ablation bench: they all produce an ``(a, b)``
+range consumable by :func:`repro.core.quantizer.compute_affine_params`.
+
+All estimators operate per tensor; wrap them with
+:func:`per_channel_ranges` to apply them along the output-channel axis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+RangeEstimator = Callable[[np.ndarray, int], Tuple[float, float]]
+
+
+def minmax_range(t: np.ndarray, bits: int) -> Tuple[float, float]:
+    """The paper's default: the tensor's exact min/max ([11])."""
+    return float(np.min(t)), float(np.max(t))
+
+
+def percentile_range(t: np.ndarray, bits: int, percentile: float = 99.9) -> Tuple[float, float]:
+    """Clip the range to symmetric percentiles, discarding outliers."""
+    if not 50.0 < percentile <= 100.0:
+        raise ValueError("percentile must be in (50, 100]")
+    lo = float(np.percentile(t, 100.0 - percentile))
+    hi = float(np.percentile(t, percentile))
+    if lo == hi:
+        return minmax_range(t, bits)
+    return lo, hi
+
+
+def mse_range(t: np.ndarray, bits: int, grid_points: int = 20) -> Tuple[float, float]:
+    """Pick the symmetric clipping factor minimising the quantization MSE.
+
+    A light-weight version of the optimal-clipping analyses used by
+    post-training quantization work: candidate ranges are ``c * [min, max]``
+    for ``c`` on a grid, and the one with the lowest reconstruction error
+    wins.
+    """
+    from repro.core.quantizer import QuantSpec, fake_quantize
+
+    a0, b0 = minmax_range(t, bits)
+    if a0 == b0:
+        return a0, b0
+    spec = QuantSpec(bits=bits)
+    best = (float("inf"), (a0, b0))
+    for c in np.linspace(0.3, 1.0, grid_points):
+        a, b = c * a0, c * b0
+        # End-to-end reconstruction error against the original tensor, so
+        # the c = 1.0 candidate coincides exactly with the min/max range.
+        err = float(np.mean((fake_quantize(t, a, b, spec) - t) ** 2))
+        if err < best[0]:
+            best = (err, (float(a), float(b)))
+    return best[1]
+
+
+def kl_divergence_range(
+    t: np.ndarray, bits: int, num_bins: int = 1024, search_points: int = 32
+) -> Tuple[float, float]:
+    """TensorRT-style calibration ([18]): choose the symmetric clipping
+    threshold whose quantized histogram has the lowest KL divergence from
+    the full-precision histogram."""
+    flat = np.abs(np.asarray(t, dtype=np.float64).reshape(-1))
+    max_abs = float(flat.max())
+    if max_abs == 0.0:
+        return 0.0, 0.0
+    hist, edges = np.histogram(flat, bins=num_bins, range=(0.0, max_abs))
+    hist = hist.astype(np.float64)
+    levels = 2 ** (bits - 1)  # symmetric signed grid
+
+    best_kl, best_threshold = float("inf"), max_abs
+    thresholds = np.linspace(max_abs / search_points, max_abs, search_points)
+    for threshold in thresholds:
+        cut = int(np.searchsorted(edges, threshold))
+        if cut < levels:
+            continue
+        p = hist[:cut].copy()
+        p[-1] += hist[cut:].sum()  # clipped mass folds into the last bin
+        # Quantize the reference distribution onto `levels` buckets.
+        q = np.zeros_like(p)
+        bucket = cut / levels
+        for i in range(levels):
+            lo, hi = int(np.floor(i * bucket)), int(np.ceil((i + 1) * bucket))
+            hi = min(max(hi, lo + 1), cut)
+            mass = p[lo:hi].sum()
+            nonzero = np.count_nonzero(p[lo:hi])
+            if nonzero:
+                q[lo:hi] = np.where(p[lo:hi] > 0, mass / nonzero, 0.0)
+        p_norm = p / p.sum() if p.sum() else p
+        q_norm = q / q.sum() if q.sum() else q
+        mask = (p_norm > 0) & (q_norm > 0)
+        kl = float(np.sum(p_norm[mask] * np.log(p_norm[mask] / q_norm[mask])))
+        if kl < best_kl:
+            best_kl, best_threshold = kl, float(threshold)
+    return -best_threshold, best_threshold
+
+
+#: Registry used by the ablation bench and the CLI.
+RANGE_ESTIMATORS: Dict[str, RangeEstimator] = {
+    "minmax": minmax_range,
+    "percentile": percentile_range,
+    "mse": mse_range,
+    "kl": kl_divergence_range,
+}
+
+
+def per_channel_ranges(
+    t: np.ndarray, bits: int, estimator: RangeEstimator = minmax_range, axis: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply a per-tensor estimator independently to every output channel."""
+    moved = np.moveaxis(t, axis, 0)
+    lows, highs = [], []
+    for c in range(moved.shape[0]):
+        a, b = estimator(moved[c], bits)
+        lows.append(a)
+        highs.append(b)
+    return np.asarray(lows), np.asarray(highs)
+
+
+def quantization_snr_db(t: np.ndarray, bits: int, estimator: RangeEstimator) -> float:
+    """Signal-to-quantization-noise ratio of a tensor under an estimator."""
+    from repro.core.quantizer import QuantSpec, fake_quantize
+
+    a, b = estimator(t, bits)
+    fq = fake_quantize(t, a, b, QuantSpec(bits=bits))
+    noise = float(np.mean((fq - t) ** 2))
+    signal = float(np.mean(np.asarray(t) ** 2))
+    if noise == 0:
+        return float("inf")
+    return 10.0 * np.log10(signal / noise) if signal > 0 else float("-inf")

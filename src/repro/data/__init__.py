@@ -1,0 +1,11 @@
+"""Synthetic data substrate standing in for ImageNet (see DESIGN.md §2)."""
+
+from repro.data.synthetic import SyntheticImageDataset, make_synthetic_classification
+from repro.data.calibration import calibration_batches, collect_activation_ranges
+
+__all__ = [
+    "SyntheticImageDataset",
+    "make_synthetic_classification",
+    "calibration_batches",
+    "collect_activation_ranges",
+]

@@ -1,0 +1,67 @@
+"""Calibration helpers: activation-range statistics over a calibration set.
+
+The paper determines activation ranges either at training time (PACT) or
+against a calibration dataset (§3).  These helpers implement the latter
+path, which is also used to initialise the PACT clipping bounds before
+quantization-aware retraining.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+
+def calibration_batches(
+    x: np.ndarray, batch_size: int = 32, max_batches: int = 8
+) -> Iterable[np.ndarray]:
+    """Yield up to ``max_batches`` deterministic batches from ``x``."""
+    n = min(len(x), batch_size * max_batches)
+    for start in range(0, n, batch_size):
+        yield x[start : start + batch_size]
+
+
+def collect_activation_ranges(
+    model,
+    x_calib: np.ndarray,
+    batch_size: int = 32,
+    max_batches: int = 8,
+    percentile: float = 99.9,
+) -> List[Dict[str, float]]:
+    """Run calibration data through a model and record per-block output ranges.
+
+    ``model`` must expose ``features`` (a sequential of blocks); the return
+    value has one dict per block with ``min``, ``max`` and the requested
+    upper ``percentile`` of the block's pre-quantization output — the
+    percentile is the usual robust initialiser of the PACT alpha.
+    """
+    blocks = list(model.features)
+    mins = [np.inf] * len(blocks)
+    maxs = [-np.inf] * len(blocks)
+    samples: List[List[np.ndarray]] = [[] for _ in blocks]
+
+    was_training = model.training
+    model.eval()
+    for batch in calibration_batches(x_calib, batch_size, max_batches):
+        h = batch
+        for i, block in enumerate(blocks):
+            h = block(h)
+            mins[i] = min(mins[i], float(h.min()))
+            maxs[i] = max(maxs[i], float(h.max()))
+            flat = h.reshape(-1)
+            take = min(flat.size, 4096)
+            samples[i].append(flat[:: max(flat.size // take, 1)][:take])
+    model.train(was_training)
+
+    stats = []
+    for i in range(len(blocks)):
+        pooled = np.concatenate(samples[i]) if samples[i] else np.zeros(1)
+        stats.append(
+            {
+                "min": mins[i],
+                "max": maxs[i],
+                "percentile": float(np.percentile(pooled, percentile)),
+            }
+        )
+    return stats

@@ -1,0 +1,110 @@
+"""Synthetic image-classification dataset ("SynthImageNet").
+
+The paper trains and evaluates on ImageNet, which is neither available
+offline nor trainable at laptop scale.  This generator produces a
+deterministic, controllable-difficulty classification task with the same
+interface a real dataset loader would have: NCHW float images in [0, 1]
+and integer labels.  Each class is defined by a smooth spatial prototype
+(a mixture of low-frequency sinusoidal patterns per channel); samples are
+prototypes plus i.i.d. noise and a random global gain, so accuracy
+degrades smoothly as quantization noise grows — the property the QAT
+experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class SyntheticImageDataset:
+    """In-memory train/test split of the synthetic task."""
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    num_classes: int
+
+    @property
+    def resolution(self) -> int:
+        return self.x_train.shape[2]
+
+    @property
+    def channels(self) -> int:
+        return self.x_train.shape[1]
+
+    def batches(self, batch_size: int, rng: np.random.Generator, train: bool = True):
+        """Yield shuffled (x, y) minibatches from the chosen split."""
+        x, y = (self.x_train, self.y_train) if train else (self.x_test, self.y_test)
+        order = rng.permutation(len(x))
+        for start in range(0, len(x), batch_size):
+            idx = order[start : start + batch_size]
+            yield x[idx], y[idx]
+
+
+def _class_prototypes(
+    num_classes: int, channels: int, resolution: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Smooth per-class prototype images built from low-frequency waves."""
+    yy, xx = np.meshgrid(
+        np.linspace(0, 2 * np.pi, resolution),
+        np.linspace(0, 2 * np.pi, resolution),
+        indexing="ij",
+    )
+    protos = np.zeros((num_classes, channels, resolution, resolution))
+    for k in range(num_classes):
+        for c in range(channels):
+            fy, fx = rng.uniform(0.5, 3.0, size=2)
+            phase = rng.uniform(0, 2 * np.pi, size=2)
+            amp = rng.uniform(0.5, 1.0)
+            protos[k, c] = amp * (
+                np.sin(fy * yy + phase[0]) * np.cos(fx * xx + phase[1])
+            )
+    # Normalise prototypes to [0, 1].
+    protos -= protos.min(axis=(2, 3), keepdims=True)
+    maxima = protos.max(axis=(2, 3), keepdims=True)
+    protos /= np.where(maxima > 0, maxima, 1.0)
+    return protos
+
+
+def make_synthetic_classification(
+    num_classes: int = 10,
+    resolution: int = 16,
+    channels: int = 3,
+    train_per_class: int = 64,
+    test_per_class: int = 16,
+    noise: float = 0.15,
+    seed: int = 0,
+) -> SyntheticImageDataset:
+    """Build a deterministic synthetic classification dataset.
+
+    Parameters
+    ----------
+    noise:
+        Standard deviation of the additive Gaussian noise; larger values
+        make the task harder (useful for testing graceful degradation).
+    """
+    if num_classes < 2:
+        raise ValueError("need at least two classes")
+    rng = np.random.default_rng(seed)
+    protos = _class_prototypes(num_classes, channels, resolution, rng)
+
+    def _split(per_class: int) -> Tuple[np.ndarray, np.ndarray]:
+        xs, ys = [], []
+        for k in range(num_classes):
+            gain = rng.uniform(0.7, 1.0, size=(per_class, 1, 1, 1))
+            eps = rng.normal(0, noise, size=(per_class, channels, resolution, resolution))
+            xs.append(np.clip(gain * protos[k] + eps, 0.0, 1.0))
+            ys.append(np.full(per_class, k, dtype=np.int64))
+        x = np.concatenate(xs, axis=0)
+        y = np.concatenate(ys, axis=0)
+        order = rng.permutation(len(x))
+        return x[order], y[order]
+
+    x_train, y_train = _split(train_per_class)
+    x_test, y_test = _split(test_per_class)
+    return SyntheticImageDataset(x_train, y_train, x_test, y_test, num_classes)

@@ -1,0 +1,23 @@
+"""Evaluation utilities: the ImageNet-accuracy surrogate, Pareto analysis,
+table rendering and one entry point per paper table/figure."""
+
+from repro.evaluation.accuracy_model import (
+    QuantSensitivity,
+    AccuracyModel,
+    FP_TOP1_ACCURACY,
+)
+from repro.evaluation.pareto import pareto_frontier, ParetoPoint
+from repro.evaluation.tables import render_table
+from repro.evaluation import paper_data
+from repro.evaluation import experiments
+
+__all__ = [
+    "QuantSensitivity",
+    "AccuracyModel",
+    "FP_TOP1_ACCURACY",
+    "pareto_frontier",
+    "ParetoPoint",
+    "render_table",
+    "paper_data",
+    "experiments",
+]

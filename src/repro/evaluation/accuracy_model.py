@@ -1,0 +1,122 @@
+"""ImageNet Top-1 accuracy surrogate for MobileNetV1 quantization policies.
+
+Training the full MobileNetV1 family on ImageNet is outside the scope of
+this offline reproduction (the paper uses 4 P100 GPUs for 8 hours per
+configuration).  The benches that regenerate Tables 2-4 and Figure 2 need
+an accuracy axis, so this module provides an explicit, documented
+surrogate:
+
+* the full-precision baselines are the published TF-slim MobileNetV1
+  Top-1 accuracies (the same checkpoints the paper starts from);
+* a quantization policy incurs a per-layer degradation that depends on
+  the weight and activation bit widths, the layer kind (depthwise layers
+  and the first/last layers are more sensitive), and whether weights are
+  quantized per-channel (PC) or per-layer (PL) — per-layer costs roughly
+  2-2.5x more accuracy at 4 bits, consistent with the paper's Table 2;
+* the PL+FB strategy below 8 bits reproduces the training collapse the
+  paper reports (Table 2): the surrogate returns chance-level accuracy.
+
+The sensitivity constants are calibrated once against the paper's Table 2
+(uniform INT8/INT4 points) and are then applied unchanged to every other
+experiment, so all comparisons produced by the benches are internally
+consistent.  EXPERIMENTS.md records paper-vs-surrogate numbers for every
+table.  The *measured* small-scale accuracy claims (ICN lossless
+conversion, PL+FB collapse) come from real QAT runs in the test suite and
+``benchmarks/bench_e2e_icn_loss.py``, not from this surrogate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.core.policy import QuantMethod, QuantPolicy
+from repro.models.model_zoo import NetworkSpec
+
+#: Published full-precision Top-1 accuracy of the TF-slim MobileNetV1
+#: checkpoints, indexed by (resolution, width multiplier).
+FP_TOP1_ACCURACY: Dict[Tuple[int, float], float] = {
+    (224, 1.0): 70.9, (192, 1.0): 70.0, (160, 1.0): 68.0, (128, 1.0): 65.2,
+    (224, 0.75): 68.4, (192, 0.75): 67.2, (160, 0.75): 65.3, (128, 0.75): 62.1,
+    (224, 0.5): 63.3, (192, 0.5): 61.7, (160, 0.5): 59.1, (128, 0.5): 56.3,
+    (224, 0.25): 49.8, (192, 0.25): 47.7, (160, 0.25): 45.5, (128, 0.25): 41.5,
+}
+
+#: Chance-level Top-1 on the 1000-class task, returned when training collapses.
+CHANCE_TOP1 = 0.1
+
+
+@dataclass(frozen=True)
+class QuantSensitivity:
+    """Degradation constants of the accuracy surrogate (percent Top-1).
+
+    ``weight_penalty[q]`` / ``act_penalty[q]`` are the per-layer penalties
+    of storing weights / activations at ``q`` bits under per-channel
+    quantization; ``pl_weight_factor`` scales the weight penalties when
+    per-layer ranges are used; ``kind_factor`` scales a layer's weight
+    penalty by its kind (depthwise filters have very few weights per
+    channel and quantize worse); ``first_last_factor`` further scales the
+    first convolution and the classifier.
+    """
+
+    weight_penalty: Dict[int, float] = field(
+        default_factory=lambda: {8: 0.01, 4: 0.10, 2: 1.8}
+    )
+    act_penalty: Dict[int, float] = field(
+        default_factory=lambda: {8: 0.01, 4: 0.05, 2: 1.2}
+    )
+    pl_weight_factor: float = 2.5
+    kind_factor: Dict[str, float] = field(
+        default_factory=lambda: {"conv": 1.0, "pw": 1.0, "dw": 1.5, "fc": 0.8}
+    )
+    first_last_factor: float = 2.0
+
+
+class AccuracyModel:
+    """Predict ImageNet Top-1 of a MobileNetV1 config under a policy."""
+
+    def __init__(self, sensitivity: QuantSensitivity | None = None):
+        self.sensitivity = sensitivity or QuantSensitivity()
+
+    # -- baselines -------------------------------------------------------
+    def full_precision_top1(self, spec: NetworkSpec) -> float:
+        key = (spec.resolution, spec.width_multiplier)
+        if key not in FP_TOP1_ACCURACY:
+            raise KeyError(f"no published full-precision baseline for {key}")
+        return FP_TOP1_ACCURACY[key]
+
+    # -- degradation -----------------------------------------------------
+    def degradation(self, spec: NetworkSpec, policy: QuantPolicy) -> float:
+        """Total predicted Top-1 degradation (percentage points)."""
+        s = self.sensitivity
+        if policy.method.folds_batchnorm and any(lp.q_w < 8 for lp in policy.layers):
+            # PL+FB below 8 bit: the folding inflates per-layer weight
+            # ranges and QAT collapses (paper Table 2, PL+FB INT4).
+            return self.full_precision_top1(spec) - CHANCE_TOP1
+        total = 0.0
+        n = len(policy)
+        for i, (layer, lp) in enumerate(zip(spec.layers, policy.layers)):
+            kind = s.kind_factor.get(layer.kind, 1.0)
+            edge = s.first_last_factor if i in (0, n - 1) else 1.0
+            # Per-layer ranges hurt markedly only below 8 bit (Table 2:
+            # PL+FB INT8 is near-lossless, PL+ICN INT4 loses ~2x more than
+            # PC+ICN INT4).
+            pl_factor = (
+                s.pl_weight_factor
+                if (not policy.method.per_channel and lp.q_w < 8)
+                else 1.0
+            )
+            total += s.weight_penalty[lp.q_w] * kind * edge * pl_factor
+            if i < n - 1:  # the classifier output is not re-quantized
+                total += s.act_penalty[lp.q_out]
+        return total
+
+    def predict_top1(self, spec: NetworkSpec, policy: QuantPolicy) -> float:
+        """Predicted Top-1 accuracy (percent) of the deployed network."""
+        fp = self.full_precision_top1(spec)
+        return max(fp - self.degradation(spec, policy), CHANCE_TOP1)
+
+    def predict_uniform(self, spec: NetworkSpec, method: QuantMethod, bits: int) -> float:
+        """Top-1 under a homogeneous ``bits``-bit policy (Table 2 rows)."""
+        policy = QuantPolicy.uniform(spec, method=method, bits=bits)
+        return self.predict_top1(spec, policy)

@@ -1,0 +1,63 @@
+"""Numbers reported by the paper, used as reference points by the benches.
+
+These values are transcribed from the paper's tables so every benchmark
+can print a "paper vs. reproduced" comparison (EXPERIMENTS.md records the
+same pairs).  They are *reference data*, never inputs to the models.
+"""
+
+from __future__ import annotations
+
+# Table 2 — Integer-only MobilenetV1_224_1.0.
+TABLE2 = {
+    "Full-precision": {"top1": 70.9, "weight_mb": 16.27},
+    "PL+FB INT8": {"top1": 70.1, "weight_mb": 4.06},
+    "PL+FB INT4": {"top1": 0.1, "weight_mb": 2.05},
+    "PL+ICN INT4": {"top1": 61.75, "weight_mb": 2.10},
+    "PC+ICN INT4": {"top1": 66.41, "weight_mb": 2.12},
+    "PC+Thresholds INT4": {"top1": 66.46, "weight_mb": 2.35},
+}
+
+# Table 3 — mixed-precision comparison at MRO = 1 MB.
+TABLE3 = {
+    "MobilenetV1_224_0.5 MixQ-PC-ICN": {"top1": 62.9, "constraint": "1MB RO + 512kB RW"},
+    "MobilenetV1_192_0.5 MixQ-PC-ICN": {"top1": 60.2, "constraint": "1MB RO + 256kB RW"},
+    "MobilenetV1_224_0.5 INT8 PL+FB [11]": {"top1": 60.7, "constraint": "1.34 MB"},
+    "MobilenetV1_224_0.25 INT8 PL+FB [11]": {"top1": 48.0, "constraint": "0.47 MB"},
+}
+
+# Table 4 (appendix) — Top-1 of every MobileNetV1 configuration under
+# MRO = 2 MB, MRW = 512 kB.  Keys are the paper's "<resolution>_<alpha>"
+# labels; values are (MixQ-PL, MixQ-PC-ICN) Top-1 percentages.
+TABLE4 = {
+    "224_1.0": (59.61, 64.29),
+    "224_0.75": (67.06, 68.02),
+    "224_0.5": (63.12, 63.48),
+    "224_0.25": (50.76, 51.70),
+    "192_1.0": (61.94, 65.88),
+    "192_0.75": (64.67, 67.23),
+    "192_0.5": (59.50, 62.93),
+    "192_0.25": (48.12, 49.75),
+    "160_1.0": (59.49, 64.46),
+    "160_0.75": (64.75, 65.70),
+    "160_0.5": (59.55, 61.25),
+    "160_0.25": (44.77, 47.79),
+    "128_1.0": (49.44, 49.44),
+    "128_0.75": (60.44, 63.53),
+    "128_0.5": (54.20, 58.22),
+    "128_0.25": (43.45, 44.68),
+}
+
+# Figure 2 — qualitative latency anchors (§6): the fastest configuration
+# (128_0.25, homogeneous 8 bit) runs at ~10 fps on the 400 MHz STM32H7 and
+# the most accurate (224_0.75 PC+ICN) is about 20x slower; PC adds ~20 %.
+FIGURE2_ANCHORS = {
+    "fastest_fps": 10.0,
+    "fastest_config": "128_0.25",
+    "slowdown_most_accurate": 20.0,
+    "most_accurate_config": "224_0.75",
+    "pc_overhead_factor": 1.2,
+}
+
+# §6 headline claim: 68 % Top-1 on a 2 MB / 512 kB device, 8 % above the
+# best 8-bit integer-only deployment that fits the same device.
+HEADLINE = {"best_top1": 68.0, "int8_gap": 8.0}

@@ -1,0 +1,36 @@
+"""Pareto-frontier analysis of accuracy-latency trade-offs (Figure 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One configuration in the accuracy-latency plane."""
+
+    label: str
+    latency_cycles: float
+    top1: float
+    method: str = ""
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True when this point is at least as fast and as accurate, and
+        strictly better on at least one axis."""
+        no_worse = (
+            self.latency_cycles <= other.latency_cycles and self.top1 >= other.top1
+        )
+        strictly_better = (
+            self.latency_cycles < other.latency_cycles or self.top1 > other.top1
+        )
+        return no_worse and strictly_better
+
+
+def pareto_frontier(points: Iterable[ParetoPoint]) -> List[ParetoPoint]:
+    """Non-dominated subset, sorted by latency (ascending)."""
+    pts = list(points)
+    frontier = [
+        p for p in pts if not any(q.dominates(p) for q in pts if q is not p)
+    ]
+    return sorted(frontier, key=lambda p: p.latency_cycles)

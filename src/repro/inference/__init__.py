@@ -1,0 +1,33 @@
+"""Integer-only inference engine: bit-accurate emulation of the extended
+CMSIS-NN kernels the paper deploys on the STM32H7."""
+
+from repro.inference.packing import pack_subbyte, unpack_subbyte, packed_size_bytes
+from repro.inference.int_tensor import QuantizedTensor
+from repro.inference.kernels import (
+    int_conv2d,
+    int_depthwise_conv2d,
+    int_linear,
+)
+from repro.inference.engine import (
+    IntegerConvLayer,
+    IntegerLinearLayer,
+    IntegerAvgPool,
+    IntegerNetwork,
+)
+from repro.inference.export import export_network, deployment_size_bytes
+
+__all__ = [
+    "pack_subbyte",
+    "unpack_subbyte",
+    "packed_size_bytes",
+    "QuantizedTensor",
+    "int_conv2d",
+    "int_depthwise_conv2d",
+    "int_linear",
+    "IntegerConvLayer",
+    "IntegerLinearLayer",
+    "IntegerAvgPool",
+    "IntegerNetwork",
+    "export_network",
+    "deployment_size_bytes",
+]

@@ -1,0 +1,106 @@
+"""Deployment export: serialise an integer network into a flat dictionary
+and account for its on-device (Flash) size.
+
+The export format mirrors what a firmware image would embed: packed weight
+blobs plus the per-layer static parameter vectors of Table 1.  It is used
+by the end-to-end examples and by tests that check the deployment size
+matches the analytical memory model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.icn import FoldedBNParams, ICNParams, ThresholdParams
+from repro.inference.engine import IntegerNetwork
+from repro.inference.packing import pack_subbyte, packed_size_bytes
+
+# Byte widths of the auxiliary arrays (§4.1 of the paper).
+_BYTES = {"bq": 4, "m0": 4, "n0": 1, "thr": 4, "z_scalar": 1, "z_pc": 2}
+
+
+def _layer_aux_bytes(params) -> int:
+    """Static-parameter bytes of one layer, by requantization strategy."""
+    if isinstance(params, ICNParams):
+        c_o = params.out_channels
+        zw_bytes = c_o * _BYTES["z_pc"] if params.per_channel else _BYTES["z_scalar"]
+        return (
+            2 * _BYTES["z_scalar"]  # Zx, Zy
+            + zw_bytes
+            + c_o * (_BYTES["bq"] + _BYTES["m0"] + _BYTES["n0"])
+        )
+    if isinstance(params, FoldedBNParams):
+        c_o = params.bq.shape[0]
+        return (
+            2 * _BYTES["z_scalar"]
+            + _BYTES["z_scalar"]
+            + c_o * _BYTES["bq"]
+            + _BYTES["m0"]
+            + _BYTES["n0"]
+        )
+    if isinstance(params, ThresholdParams):
+        c_o = params.thresholds.shape[0]
+        return (
+            2 * _BYTES["z_scalar"]
+            + c_o * _BYTES["z_pc"]
+            + params.thresholds.size * _BYTES["thr"]
+        )
+    raise TypeError(f"unsupported params type {type(params)!r}")
+
+
+def export_network(net: IntegerNetwork) -> Dict:
+    """Serialise the network into a nested dict of plain arrays/ints."""
+    layers = []
+    for layer in net.conv_layers:
+        p = layer.params
+        entry = {
+            "name": layer.name,
+            "kind": layer.kind,
+            "stride": layer.stride,
+            "padding": layer.padding,
+            "w_bits": p.w_bits,
+            "out_bits": p.out_bits,
+            "in_bits": layer.in_bits,
+            "weight_shape": list(p.weights_q.shape),
+            "weights_packed": pack_subbyte(p.weights_q, p.w_bits),
+            "weight_bytes": packed_size_bytes(int(p.weights_q.size), p.w_bits),
+            "aux_bytes": _layer_aux_bytes(p),
+            "strategy": type(p).__name__,
+        }
+        layers.append(entry)
+    out = {"conv_layers": layers}
+    if net.classifier is not None:
+        cl = net.classifier
+        out["classifier"] = {
+            "name": cl.name,
+            "w_bits": cl.w_bits,
+            "weight_shape": list(cl.weights_q.shape),
+            "weights_packed": pack_subbyte(cl.weights_q, cl.w_bits),
+            "weight_bytes": packed_size_bytes(int(cl.weights_q.size), cl.w_bits),
+            "aux_bytes": int(np.asarray(cl.s_w).size) * (_BYTES["bq"] + _BYTES["z_pc"])
+            + (0 if cl.bias is None else cl.bias.size * 4),
+            "strategy": "linear",
+        }
+    out["input"] = {
+        "scale": net.input_scale,
+        "zero_point": net.input_zero_point,
+        "bits": net.input_bits,
+    }
+    return out
+
+
+def deployment_size_bytes(net: IntegerNetwork) -> Dict[str, int]:
+    """Flash footprint of the exported network, split by contribution."""
+    exported = export_network(net)
+    weight_bytes = sum(l["weight_bytes"] for l in exported["conv_layers"])
+    aux_bytes = sum(l["aux_bytes"] for l in exported["conv_layers"])
+    if "classifier" in exported:
+        weight_bytes += exported["classifier"]["weight_bytes"]
+        aux_bytes += exported["classifier"]["aux_bytes"]
+    return {
+        "weights": int(weight_bytes),
+        "aux_params": int(aux_bytes),
+        "total": int(weight_bytes + aux_bytes),
+    }

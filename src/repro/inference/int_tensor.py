@@ -1,0 +1,63 @@
+"""Quantized tensor container used at the boundary of the integer engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.inference.packing import pack_subbyte, packed_size_bytes, unpack_subbyte
+
+
+@dataclass
+class QuantizedTensor:
+    """An integer-coded tensor plus its affine quantization parameters.
+
+    ``data`` holds the integer codes (int64 for convenience; the value
+    range is that of UINT-Q).  ``scale`` and ``zero_point`` give the
+    mapping back to real values via ``real = scale * (code - zero_point)``.
+    """
+
+    data: np.ndarray
+    scale: float
+    zero_point: int
+    bits: int
+
+    def __post_init__(self):
+        self.data = np.asarray(self.data, dtype=np.int64)
+        qmax = 2 ** self.bits - 1
+        if self.data.size and (self.data.min() < 0 or self.data.max() > qmax):
+            raise ValueError(
+                f"codes out of the UINT{self.bits} range [0, {qmax}]"
+            )
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    def dequantize(self) -> np.ndarray:
+        """Real-valued view of the tensor."""
+        return self.scale * (self.data.astype(np.float64) - self.zero_point)
+
+    def packed_bytes(self) -> np.ndarray:
+        """Bit-packed byte stream (what would live in the MCU memory)."""
+        return pack_subbyte(self.data, self.bits)
+
+    def storage_bytes(self) -> int:
+        return packed_size_bytes(self.data.size, self.bits)
+
+    @classmethod
+    def from_real(cls, real: np.ndarray, scale: float, zero_point: int, bits: int,
+                  rounding: str = "floor") -> "QuantizedTensor":
+        """Quantize a real tensor (activations use floor, paper §3)."""
+        q = np.asarray(real, dtype=np.float64) / scale
+        q = np.floor(q) if rounding == "floor" else np.round(q)
+        q = np.clip(q + zero_point, 0, 2 ** bits - 1)
+        return cls(q.astype(np.int64), scale, zero_point, bits)
+
+    @classmethod
+    def from_packed(cls, packed: np.ndarray, shape, scale: float, zero_point: int,
+                    bits: int) -> "QuantizedTensor":
+        count = int(np.prod(shape))
+        data = unpack_subbyte(packed, bits, count).reshape(shape)
+        return cls(data, scale, zero_point, bits)

@@ -1,0 +1,134 @@
+"""Integer convolution / linear kernels (bit-accurate CMSIS-NN emulation).
+
+Each kernel computes the integer accumulator
+
+    Phi = sum (X - Z_x) (W - Z_w)
+
+with int64 arithmetic over UINT-Q operand codes — the same quantity the
+extended CMSIS-NN kernels accumulate in their MAC loop — and leaves the
+requantization (ICN, folded-BN or thresholds) to the caller.  The kernels
+use im2col + matrix products so large feature maps stay fast in numpy
+while remaining exactly integer-valued.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import conv_output_size, im2col
+
+
+def _check_codes(name: str, arr: np.ndarray, bits: int) -> None:
+    qmax = 2 ** bits - 1
+    if arr.size and (arr.min() < 0 or arr.max() > qmax):
+        raise ValueError(f"{name} codes out of UINT{bits} range [0, {qmax}]")
+
+
+def int_conv2d(
+    x_codes: np.ndarray,
+    w_codes: np.ndarray,
+    z_x: int,
+    z_w: np.ndarray | int,
+    stride: int = 1,
+    padding: int = 0,
+    x_bits: int = 8,
+    w_bits: int = 8,
+) -> np.ndarray:
+    """Integer accumulator of a standard convolution.
+
+    ``x_codes``: (N, C_in, H, W) unsigned codes; ``w_codes``: (C_out, C_in,
+    kh, kw).  ``z_w`` may be a scalar (per-layer) or a per-output-channel
+    vector (per-channel).  Zero padding pads with the code ``z_x`` so that
+    the padded positions represent the real value 0, as the MCU kernel
+    does.
+    """
+    _check_codes("activation", x_codes, x_bits)
+    _check_codes("weight", w_codes, w_bits)
+    n, c_in, h, w = x_codes.shape
+    c_out = w_codes.shape[0]
+    # Shift activations by Z_x before im2col so zero padding contributes 0.
+    x_shift = x_codes.astype(np.int64) - int(z_x)
+    cols = im2col(x_shift, w_codes.shape[2], w_codes.shape[3], stride, padding)
+    z_w_arr = np.asarray(z_w, dtype=np.int64).reshape(-1)
+    if z_w_arr.size == 1:
+        w_shift = w_codes.astype(np.int64) - z_w_arr[0]
+    else:
+        if z_w_arr.size != c_out:
+            raise ValueError("per-channel z_w must have one entry per output channel")
+        w_shift = w_codes.astype(np.int64) - z_w_arr.reshape(-1, 1, 1, 1)
+    w2 = w_shift.reshape(c_out, -1)
+    phi = np.einsum("ok,nkl->nol", w2, cols, optimize=True)
+    oh = conv_output_size(h, w_codes.shape[2], stride, padding)
+    ow = conv_output_size(w, w_codes.shape[3], stride, padding)
+    return phi.reshape(n, c_out, oh, ow)
+
+
+def int_depthwise_conv2d(
+    x_codes: np.ndarray,
+    w_codes: np.ndarray,
+    z_x: int,
+    z_w: np.ndarray | int,
+    stride: int = 1,
+    padding: int = 0,
+    x_bits: int = 8,
+    w_bits: int = 8,
+) -> np.ndarray:
+    """Integer accumulator of a depthwise convolution.
+
+    ``w_codes`` has shape (C, 1, kh, kw); the per-channel ``z_w`` vector
+    has one entry per channel.
+    """
+    _check_codes("activation", x_codes, x_bits)
+    _check_codes("weight", w_codes, w_bits)
+    n, c, h, w = x_codes.shape
+    kh, kw = w_codes.shape[2], w_codes.shape[3]
+    x_shift = x_codes.astype(np.int64) - int(z_x)
+    cols = im2col(x_shift, kh, kw, stride, padding).reshape(n, c, kh * kw, -1)
+    z_w_arr = np.asarray(z_w, dtype=np.int64).reshape(-1)
+    if z_w_arr.size == 1:
+        w_shift = w_codes.astype(np.int64) - z_w_arr[0]
+    else:
+        if z_w_arr.size != c:
+            raise ValueError("per-channel z_w must have one entry per channel")
+        w_shift = w_codes.astype(np.int64) - z_w_arr.reshape(-1, 1, 1, 1)
+    w2 = w_shift.reshape(c, kh * kw)
+    phi = np.einsum("ck,nckl->ncl", w2, cols, optimize=True)
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    return phi.reshape(n, c, oh, ow)
+
+
+def int_linear(
+    x_codes: np.ndarray,
+    w_codes: np.ndarray,
+    z_x: int,
+    z_w: np.ndarray | int,
+    x_bits: int = 8,
+    w_bits: int = 8,
+) -> np.ndarray:
+    """Integer accumulator of a fully connected layer.
+
+    ``x_codes``: (N, in_features); ``w_codes``: (out_features, in_features).
+    """
+    _check_codes("activation", x_codes, x_bits)
+    _check_codes("weight", w_codes, w_bits)
+    x_shift = x_codes.astype(np.int64) - int(z_x)
+    z_w_arr = np.asarray(z_w, dtype=np.int64).reshape(-1)
+    if z_w_arr.size == 1:
+        w_shift = w_codes.astype(np.int64) - z_w_arr[0]
+    else:
+        if z_w_arr.size != w_codes.shape[0]:
+            raise ValueError("per-channel z_w must have one entry per output feature")
+        w_shift = w_codes.astype(np.int64) - z_w_arr.reshape(-1, 1)
+    return x_shift @ w_shift.T
+
+
+def int_avg_pool_global(x_codes: np.ndarray) -> np.ndarray:
+    """Integer global average pooling with floor rounding.
+
+    CMSIS-NN pools in the integer domain; the result keeps the input's
+    scale and zero point (averaging is affine-invariant up to the floor).
+    """
+    n, c, h, w = x_codes.shape
+    total = x_codes.astype(np.int64).sum(axis=(2, 3))
+    return np.floor_divide(total, h * w).reshape(n, c)

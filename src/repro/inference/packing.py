@@ -1,0 +1,67 @@
+"""Sub-byte bit packing of UINT2 / UINT4 / UINT8 tensors.
+
+The MCU stores weight (and activation) tensors bit-packed: four 2-bit or
+two 4-bit values per byte, little-end first within each byte, matching the
+layout the extended CMSIS-NN kernels of the paper unpack in their inner
+loop.  The functions here are used both by the deployment-size accounting
+and by tests that round-trip tensors through the packed representation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+SUPPORTED_BITS = (2, 4, 8)
+
+
+def packed_size_bytes(count: int, bits: int) -> int:
+    """Number of bytes needed to store ``count`` values of ``bits`` bits."""
+    if bits not in SUPPORTED_BITS:
+        raise ValueError(f"bits must be one of {SUPPORTED_BITS}, got {bits}")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return math.ceil(count * bits / 8)
+
+
+def pack_subbyte(values: np.ndarray, bits: int) -> np.ndarray:
+    """Pack an array of unsigned integer codes into a uint8 byte stream.
+
+    Values are flattened in C order; within one byte the first value
+    occupies the least-significant bits.
+    """
+    if bits not in SUPPORTED_BITS:
+        raise ValueError(f"bits must be one of {SUPPORTED_BITS}, got {bits}")
+    flat = np.asarray(values).reshape(-1)
+    if flat.size and (flat.min() < 0 or flat.max() > 2 ** bits - 1):
+        raise ValueError(f"values out of range for {bits}-bit packing")
+    flat = flat.astype(np.uint8)
+    if bits == 8:
+        return flat.copy()
+    per_byte = 8 // bits
+    padded_len = math.ceil(flat.size / per_byte) * per_byte
+    padded = np.zeros(padded_len, dtype=np.uint8)
+    padded[: flat.size] = flat
+    groups = padded.reshape(-1, per_byte)
+    shifts = (np.arange(per_byte) * bits).astype(np.uint8)
+    packed = np.bitwise_or.reduce(groups.astype(np.uint16) << shifts, axis=1)
+    return packed.astype(np.uint8)
+
+
+def unpack_subbyte(packed: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_subbyte`; returns ``count`` values as int64."""
+    if bits not in SUPPORTED_BITS:
+        raise ValueError(f"bits must be one of {SUPPORTED_BITS}, got {bits}")
+    packed = np.asarray(packed, dtype=np.uint8).reshape(-1)
+    if bits == 8:
+        if count > packed.size:
+            raise ValueError("not enough packed bytes")
+        return packed[:count].astype(np.int64)
+    per_byte = 8 // bits
+    if count > packed.size * per_byte:
+        raise ValueError("not enough packed bytes")
+    shifts = (np.arange(per_byte) * bits).astype(np.uint8)
+    mask = np.uint16(2 ** bits - 1)
+    expanded = (packed[:, None].astype(np.uint16) >> shifts) & mask
+    return expanded.reshape(-1)[:count].astype(np.int64)

@@ -1,0 +1,35 @@
+"""Microcontroller deployment model: device presets, CMSIS-NN-style
+latency model and memory-fit / deployment reporting."""
+
+from repro.mcu.device import MCUDevice, STM32H7, STM32F7, STM32F4, STM32L4
+from repro.mcu.latency import CMSISNNCostModel, layer_cycles, network_cycles, LatencyBreakdown
+from repro.mcu.deploy import DeploymentReport, deploy, check_fit
+from repro.mcu.energy import (
+    PowerProfile,
+    EnergyReport,
+    STM32H7_POWER,
+    STM32L4_POWER,
+    energy_per_inference_mj,
+    duty_cycle_report,
+)
+
+__all__ = [
+    "MCUDevice",
+    "STM32H7",
+    "STM32F7",
+    "STM32F4",
+    "STM32L4",
+    "CMSISNNCostModel",
+    "layer_cycles",
+    "network_cycles",
+    "LatencyBreakdown",
+    "DeploymentReport",
+    "deploy",
+    "check_fit",
+    "PowerProfile",
+    "EnergyReport",
+    "STM32H7_POWER",
+    "STM32L4_POWER",
+    "energy_per_inference_mj",
+    "duty_cycle_report",
+]

@@ -1,0 +1,74 @@
+"""Microcontroller device descriptions.
+
+The paper's target is an STM32H7 (2 MB Flash for read-only parameters,
+512 kB of contiguous RAM for activations, Cortex-M7 at 400 MHz).  A few
+other common STM32 parts are included as presets so the memory-driven
+search and the latency model can be exercised against different budgets
+(Table 3 uses a 1 MB read-only constraint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MCUDevice:
+    """Static description of a microcontroller target.
+
+    ``flash_bytes`` bounds the read-only memory (Eq. 6); ``ram_bytes``
+    bounds the read-write activation memory (Eq. 7); ``clock_hz`` converts
+    cycle counts into latency; ``simd_macs_per_cycle`` is the peak 8-bit
+    MAC throughput of the DSP-extension datapath.
+    """
+
+    name: str
+    flash_bytes: int
+    ram_bytes: int
+    clock_hz: int
+    core: str = "cortex-m7"
+    simd_macs_per_cycle: float = 2.0
+
+    @property
+    def flash_mb(self) -> float:
+        return self.flash_bytes / MB
+
+    @property
+    def ram_kb(self) -> float:
+        return self.ram_bytes / KB
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    def cycles_to_fps(self, cycles: float) -> float:
+        return self.clock_hz / cycles if cycles > 0 else float("inf")
+
+    def with_budgets(self, flash_bytes: int | None = None, ram_bytes: int | None = None) -> "MCUDevice":
+        """A copy of the device with overridden memory budgets (Table 3)."""
+        return MCUDevice(
+            name=self.name,
+            flash_bytes=flash_bytes if flash_bytes is not None else self.flash_bytes,
+            ram_bytes=ram_bytes if ram_bytes is not None else self.ram_bytes,
+            clock_hz=self.clock_hz,
+            core=self.core,
+            simd_macs_per_cycle=self.simd_macs_per_cycle,
+        )
+
+
+#: The paper's evaluation platform (§6): 2 MB Flash, 512 kB RAM, 400 MHz.
+STM32H7 = MCUDevice("STM32H743", flash_bytes=2 * MB, ram_bytes=512 * KB, clock_hz=400_000_000)
+
+#: Cortex-M7 at 216 MHz with half the memory.
+STM32F7 = MCUDevice("STM32F746", flash_bytes=1 * MB, ram_bytes=320 * KB, clock_hz=216_000_000,
+                    core="cortex-m7")
+
+#: Cortex-M4 class device.
+STM32F4 = MCUDevice("STM32F469", flash_bytes=2 * MB, ram_bytes=384 * KB, clock_hz=180_000_000,
+                    core="cortex-m4", simd_macs_per_cycle=1.0)
+
+#: Low-power Cortex-M4.
+STM32L4 = MCUDevice("STM32L476", flash_bytes=1 * MB, ram_bytes=128 * KB, clock_hz=80_000_000,
+                    core="cortex-m4", simd_macs_per_cycle=1.0)

@@ -1,0 +1,120 @@
+"""Energy model for duty-cycled smart-sensor deployments.
+
+The paper's introduction frames the whole effort around battery-powered
+smart sensors with a power envelope of a few tens of mW and multi-year
+lifetimes.  This module provides the simple energy accounting needed to
+turn the latency model's cycle counts into battery-lifetime estimates for
+such duty-cycled deployments: the MCU runs one inference, then sleeps
+until the next sensor event.
+
+The default power numbers correspond to an STM32H7-class device at 400 MHz
+(active) and its Stop mode (sleep); they can be overridden per deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mcu.device import MCUDevice, STM32H7
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Static power characteristics of a deployment target.
+
+    ``active_mw`` is the power drawn while executing the network,
+    ``sleep_uw`` the deep-sleep power between inferences, and
+    ``wakeup_overhead_ms`` the time spent waking the core and restoring
+    clocks before useful work starts.
+    """
+
+    active_mw: float = 60.0
+    sleep_uw: float = 30.0
+    wakeup_overhead_ms: float = 0.5
+
+    def __post_init__(self):
+        if self.active_mw <= 0 or self.sleep_uw < 0 or self.wakeup_overhead_ms < 0:
+            raise ValueError("power profile values must be positive")
+
+
+#: Representative profiles for the device presets of :mod:`repro.mcu.device`.
+STM32H7_POWER = PowerProfile(active_mw=60.0, sleep_uw=32.0, wakeup_overhead_ms=0.4)
+STM32L4_POWER = PowerProfile(active_mw=12.0, sleep_uw=1.5, wakeup_overhead_ms=0.3)
+
+
+@dataclass
+class EnergyReport:
+    """Energy accounting of a duty-cycled deployment."""
+
+    device: str
+    latency_ms: float
+    inferences_per_hour: float
+    energy_per_inference_mj: float
+    average_power_mw: float
+    battery_life_days: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.device}: {self.latency_ms:.1f} ms/inference, "
+            f"{self.energy_per_inference_mj:.2f} mJ/inference, "
+            f"avg {self.average_power_mw:.3f} mW, "
+            f"~{self.battery_life_days:.0f} days on the given battery"
+        )
+
+
+def energy_per_inference_mj(
+    total_cycles: float,
+    device: MCUDevice = STM32H7,
+    power: PowerProfile = STM32H7_POWER,
+) -> float:
+    """Energy of one inference in millijoules (active phase only)."""
+    if total_cycles < 0:
+        raise ValueError("cycle count must be non-negative")
+    active_s = total_cycles / device.clock_hz + power.wakeup_overhead_ms / 1000.0
+    return power.active_mw * active_s
+
+
+def duty_cycle_report(
+    total_cycles: float,
+    inferences_per_hour: float,
+    device: MCUDevice = STM32H7,
+    power: PowerProfile = STM32H7_POWER,
+    battery_mwh: float = 1000.0,
+) -> EnergyReport:
+    """Average power and battery life for a periodic-inference deployment.
+
+    Parameters
+    ----------
+    total_cycles:
+        Cycles of one inference (from :func:`repro.mcu.latency.network_cycles`).
+    inferences_per_hour:
+        How often the sensor wakes up to classify.
+    battery_mwh:
+        Battery capacity in milliwatt-hours (1000 mWh ~ a small LiPo cell).
+    """
+    if inferences_per_hour <= 0:
+        raise ValueError("inferences_per_hour must be positive")
+    if battery_mwh <= 0:
+        raise ValueError("battery capacity must be positive")
+    latency_s = total_cycles / device.clock_hz
+    active_s = latency_s + power.wakeup_overhead_ms / 1000.0
+    e_inf_mj = power.active_mw * active_s
+
+    period_s = 3600.0 / inferences_per_hour
+    sleep_s = max(period_s - active_s, 0.0)
+    # Average power in mW: (active energy + sleep energy) / period.
+    e_sleep_mj = (power.sleep_uw / 1000.0) * sleep_s
+    avg_power_mw = (e_inf_mj + e_sleep_mj) / period_s
+
+    battery_mj = battery_mwh * 3.6  # 1 mWh = 3.6 J = 3600 mJ / 1000
+    battery_life_hours = battery_mwh / avg_power_mw if avg_power_mw > 0 else float("inf")
+    del battery_mj  # capacity is consumed through the mWh/mW ratio above
+
+    return EnergyReport(
+        device=device.name,
+        latency_ms=1000.0 * latency_s,
+        inferences_per_hour=inferences_per_hour,
+        energy_per_inference_mj=e_inf_mj,
+        average_power_mw=avg_power_mw,
+        battery_life_days=battery_life_hours / 24.0,
+    )

@@ -1,0 +1,160 @@
+"""Latency model of the extended CMSIS-NN kernels (paper §6).
+
+The paper benchmarks the integer-only networks on an STM32H7 at 400 MHz
+with an extended CMSIS-NN library (output-stationary dataflow, support for
+sub-byte operands and per-channel zero points) and reports latency in
+clock cycles.  This module provides an analytical cycle model of those
+kernels, parameterised from the data points the paper gives:
+
+* the fastest configuration (128_0.25, homogeneous 8 bit) runs at ~10 fps,
+  i.e. ~40 M cycles for ~14 M MACs — about 2.8 cycles/MAC end to end;
+* the most accurate configuration (224_0.75, PC+ICN) is about 20x slower;
+* per-channel (PC) quantization adds ~20 % latency because the weight
+  zero-point subtraction moves into the inner MAC loop;
+* sub-byte operands must be unpacked before the SIMD MAC, adding a
+  per-element overhead that grows as the precision shrinks.
+
+The model is not cycle-exact, but it preserves the relative ordering and
+the magnitude of the latency axis of Figure 2, which is what the
+accuracy-latency trade-off study needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.policy import QuantMethod, QuantPolicy
+from repro.models.model_zoo import LayerSpec, NetworkSpec
+
+
+@dataclass(frozen=True)
+class CMSISNNCostModel:
+    """Cycle-cost parameters of the extended CMSIS-NN kernels.
+
+    ``cycles_per_mac`` is the base cost of one multiply-accumulate in the
+    8-bit per-layer configuration, per kernel type.  Depthwise kernels pay
+    more per MAC because they cannot amortise the im2col patch over many
+    output channels.  The remaining fields are multiplicative or additive
+    overheads described in the class docstring.
+    """
+
+    cycles_per_mac: Dict[str, float] = field(
+        default_factory=lambda: {"conv": 2.6, "pw": 2.5, "dw": 4.6, "fc": 2.5}
+    )
+    #: Extra per-MAC factor when weights are stored below 8 bit (unpacking).
+    weight_unpack_factor: Dict[int, float] = field(
+        default_factory=lambda: {8: 1.0, 4: 1.15, 2: 1.30}
+    )
+    #: Extra per-MAC factor when input activations are below 8 bit.
+    act_unpack_factor: Dict[int, float] = field(
+        default_factory=lambda: {8: 1.0, 4: 1.10, 2: 1.20}
+    )
+    #: Inner-loop overhead of per-channel weight zero-points (paper: ~20 %).
+    per_channel_factor: float = 1.20
+    #: Requantization cost per output element (ICN multiply + shift + clamp).
+    requant_cycles_per_output: float = 4.0
+    #: Folded-BN requantization is marginally cheaper (scalar multiplier).
+    requant_cycles_per_output_folded: float = 3.0
+    #: Threshold requantization: binary search over 2^Q thresholds.
+    requant_cycles_per_output_threshold_base: float = 6.0
+    #: im2col / buffer management cost per input element loaded.
+    im2col_cycles_per_element: float = 0.7
+    #: Fixed per-layer call overhead (function call, loop setup, DMA/config).
+    layer_overhead_cycles: float = 3000.0
+
+
+DEFAULT_COST_MODEL = CMSISNNCostModel()
+
+
+def _requant_cycles(
+    layer: LayerSpec, method: QuantMethod, q_out: int, model: CMSISNNCostModel
+) -> float:
+    outputs = layer.output_activation_count
+    if method is QuantMethod.PL_FB:
+        return outputs * model.requant_cycles_per_output_folded
+    if method is QuantMethod.PC_THRESHOLDS:
+        # Binary search over 2^Q thresholds: ~Q comparisons per output.
+        return outputs * (model.requant_cycles_per_output_threshold_base + q_out)
+    return outputs * model.requant_cycles_per_output
+
+
+def layer_cycles(
+    layer: LayerSpec,
+    q_w: int,
+    q_in: int,
+    q_out: int,
+    method: QuantMethod = QuantMethod.PC_ICN,
+    model: CMSISNNCostModel = DEFAULT_COST_MODEL,
+) -> float:
+    """Estimated cycles of one quantized convolutional layer."""
+    base = model.cycles_per_mac.get(layer.kind)
+    if base is None:
+        raise ValueError(f"unknown layer kind {layer.kind!r}")
+    per_mac = (
+        base
+        * model.weight_unpack_factor[q_w]
+        * model.act_unpack_factor[q_in]
+    )
+    if method.per_channel:
+        per_mac *= model.per_channel_factor
+    mac_cycles = layer.macs * per_mac
+    im2col_cycles = (
+        layer.input_activation_count * model.im2col_cycles_per_element
+        if layer.kind in ("conv", "dw")
+        else 0.0
+    )
+    return (
+        mac_cycles
+        + im2col_cycles
+        + _requant_cycles(layer, method, q_out, model)
+        + model.layer_overhead_cycles
+    )
+
+
+@dataclass
+class LatencyBreakdown:
+    """Per-layer and total cycle counts of one network under one policy."""
+
+    network: str
+    method: QuantMethod
+    per_layer_cycles: List[float]
+    layer_names: List[str]
+
+    @property
+    def total_cycles(self) -> float:
+        return float(sum(self.per_layer_cycles))
+
+    def latency_seconds(self, clock_hz: int) -> float:
+        return self.total_cycles / clock_hz
+
+    def fps(self, clock_hz: int) -> float:
+        total = self.total_cycles
+        return clock_hz / total if total > 0 else float("inf")
+
+    def top_layers(self, k: int = 5) -> List[tuple]:
+        """The ``k`` most expensive layers as (name, cycles) pairs."""
+        pairs = sorted(
+            zip(self.layer_names, self.per_layer_cycles), key=lambda t: -t[1]
+        )
+        return pairs[:k]
+
+
+def network_cycles(
+    spec: NetworkSpec,
+    policy: QuantPolicy,
+    model: CMSISNNCostModel = DEFAULT_COST_MODEL,
+) -> LatencyBreakdown:
+    """Estimated cycles of a full network under a quantization policy."""
+    if len(spec) != len(policy):
+        raise ValueError("policy and spec layer counts differ")
+    cycles = [
+        layer_cycles(layer, lp.q_w, lp.q_in, lp.q_out, policy.method, model)
+        for layer, lp in zip(spec.layers, policy.layers)
+    ]
+    return LatencyBreakdown(
+        network=spec.name,
+        method=policy.method,
+        per_layer_cycles=cycles,
+        layer_names=[l.name for l in spec.layers],
+    )

@@ -1,0 +1,25 @@
+"""Model definitions and architecture specs (MobileNetV1 family)."""
+
+from repro.models.model_zoo import (
+    LayerSpec,
+    NetworkSpec,
+    mobilenet_v1_spec,
+    MOBILENET_RESOLUTIONS,
+    MOBILENET_WIDTH_MULTIPLIERS,
+    all_mobilenet_configs,
+)
+from repro.models.mobilenet_v1 import build_mobilenet_v1, MobileNetV1
+from repro.models.small_cnn import build_small_cnn, build_tiny_mobilenet
+
+__all__ = [
+    "LayerSpec",
+    "NetworkSpec",
+    "mobilenet_v1_spec",
+    "MOBILENET_RESOLUTIONS",
+    "MOBILENET_WIDTH_MULTIPLIERS",
+    "all_mobilenet_configs",
+    "build_mobilenet_v1",
+    "MobileNetV1",
+    "build_small_cnn",
+    "build_tiny_mobilenet",
+]

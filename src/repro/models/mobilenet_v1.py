@@ -1,0 +1,126 @@
+"""Instantiable MobileNetV1 built on the :mod:`repro.nn` substrate.
+
+Full-size ImageNet configurations can be instantiated, but for training
+in this reproduction the small-resolution / narrow variants (and the
+`small_cnn` testbeds) are the practical choice.  The layer ordering of
+the built model matches the :class:`~repro.models.model_zoo.NetworkSpec`
+ordering, so a trained model and its spec can be zipped together by the
+conversion and deployment tooling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.models.model_zoo import NetworkSpec, mobilenet_v1_spec
+
+
+class ConvBNBlock(nn.Module):
+    """conv (or depthwise conv) -> batch-norm -> ReLU.
+
+    This is the sub-graph the ICN conversion (Eq. 3) operates on; keeping
+    it as a dedicated module makes graph traversal straightforward.
+    """
+
+    def __init__(self, conv: nn.Module, channels: int, activation: Optional[nn.Module] = None):
+        super().__init__()
+        self.conv = conv
+        self.bn = nn.BatchNorm2d(channels)
+        self.act = activation if activation is not None else nn.ReLU()
+
+    def forward(self, x):
+        return self.act(self.bn(self.conv(x)))
+
+    def backward(self, grad_out):
+        grad_out = self.act.backward(grad_out)
+        grad_out = self.bn.backward(grad_out)
+        return self.conv.backward(grad_out)
+
+
+class MobileNetV1(nn.Module):
+    """MobileNetV1 classifier over NCHW inputs."""
+
+    def __init__(
+        self,
+        resolution: int = 224,
+        width_multiplier: float = 1.0,
+        num_classes: int = 1000,
+        in_channels: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.spec: NetworkSpec = mobilenet_v1_spec(
+            resolution, width_multiplier, num_classes, in_channels
+        )
+        self.resolution = resolution
+        self.width_multiplier = width_multiplier
+        self.num_classes = num_classes
+
+        blocks: List[nn.Module] = []
+        for layer in self.spec.layers:
+            if layer.kind == "conv":
+                conv = nn.Conv2d(
+                    layer.in_channels, layer.out_channels, layer.kernel_size,
+                    stride=layer.stride, padding=layer.padding, bias=False, rng=rng,
+                )
+                blocks.append(ConvBNBlock(conv, layer.out_channels))
+            elif layer.kind == "dw":
+                conv = nn.DepthwiseConv2d(
+                    layer.in_channels, layer.kernel_size,
+                    stride=layer.stride, padding=layer.padding, bias=False, rng=rng,
+                )
+                blocks.append(ConvBNBlock(conv, layer.out_channels))
+            elif layer.kind == "pw":
+                conv = nn.Conv2d(
+                    layer.in_channels, layer.out_channels, 1,
+                    stride=1, padding=0, bias=False, rng=rng,
+                )
+                blocks.append(ConvBNBlock(conv, layer.out_channels))
+            elif layer.kind == "fc":
+                # handled after the feature extractor
+                continue
+            else:  # pragma: no cover - spec kinds are fixed
+                raise ValueError(f"unknown layer kind {layer.kind}")
+
+        self.features = nn.Sequential(*blocks)
+        self.pool = nn.GlobalAvgPool2d()
+        self.flatten = nn.Flatten()
+        fc_spec = self.spec.layers[-1]
+        self.classifier = nn.Linear(fc_spec.in_channels, num_classes, bias=True, rng=rng)
+
+    def forward(self, x):
+        x = self.features(x)
+        x = self.pool(x)
+        x = self.flatten(x)
+        return self.classifier(x)
+
+    def backward(self, grad_out):
+        grad_out = self.classifier.backward(grad_out)
+        grad_out = self.flatten.backward(grad_out)
+        grad_out = self.pool.backward(grad_out)
+        return self.features.backward(grad_out)
+
+    def conv_blocks(self) -> List[ConvBNBlock]:
+        """The conv/bn/act blocks in execution order (excludes classifier)."""
+        return list(self.features)
+
+
+def build_mobilenet_v1(
+    resolution: int = 224,
+    width_multiplier: float = 1.0,
+    num_classes: int = 1000,
+    in_channels: int = 3,
+    seed: int = 0,
+) -> MobileNetV1:
+    """Convenience constructor with a seeded RNG."""
+    return MobileNetV1(
+        resolution=resolution,
+        width_multiplier=width_multiplier,
+        num_classes=num_classes,
+        in_channels=in_channels,
+        rng=np.random.default_rng(seed),
+    )

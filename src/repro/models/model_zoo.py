@@ -1,0 +1,232 @@
+"""Architecture specifications of the MobileNetV1 family.
+
+The memory-driven mixed-precision search, the memory model (Table 1) and
+the MCU latency model only need layer *shapes* — channel counts, kernel
+sizes and spatial resolutions — not instantiated weights.  A
+:class:`NetworkSpec` therefore enumerates the quantized convolutional
+layers of a network symbolically, so the full-size MobileNetV1 family
+(up to 224_1.0 with 4.2 M parameters) can be analysed without allocating
+any weight tensors.
+
+The paper labels a configuration ``<resolution>_<width multiplier>``,
+e.g. ``192_0.5``; the same convention is used throughout this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+MOBILENET_RESOLUTIONS: Tuple[int, ...] = (128, 160, 192, 224)
+MOBILENET_WIDTH_MULTIPLIERS: Tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+
+# (output channels at width multiplier 1.0, stride) for the 13 depthwise
+# separable blocks of MobileNetV1 after the initial full convolution.
+_MOBILENET_BLOCKS: Tuple[Tuple[int, int], ...] = (
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+)
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Shape description of one quantized convolutional (or linear) layer.
+
+    Attributes
+    ----------
+    index:
+        Position in the stacked-layer ordering used by Algorithms 1 and 2.
+    name:
+        Human readable layer name, e.g. ``"conv0"`` or ``"block3_pw"``.
+    kind:
+        One of ``"conv"`` (standard convolution), ``"dw"`` (depthwise),
+        ``"pw"`` (pointwise 1x1) and ``"fc"`` (fully connected).
+    in_channels / out_channels:
+        Channel counts (``c_I`` and ``c_O`` in Table 1).
+    kernel_size, stride, padding:
+        Convolution geometry (kernel 1 for ``fc``).
+    in_h, in_w, out_h, out_w:
+        Spatial sizes of the input and output activation maps (1 for fc).
+    """
+
+    index: int
+    name: str
+    kind: str
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int
+    padding: int
+    in_h: int
+    in_w: int
+    out_h: int
+    out_w: int
+
+    # -- derived quantities -------------------------------------------
+    @property
+    def weight_count(self) -> int:
+        """Number of weight scalars in the kernel (Table 1's Weights row)."""
+        if self.kind == "dw":
+            return self.out_channels * self.kernel_size * self.kernel_size
+        if self.kind == "fc":
+            return self.out_channels * self.in_channels
+        return (
+            self.out_channels
+            * self.in_channels
+            * self.kernel_size
+            * self.kernel_size
+        )
+
+    @property
+    def input_activation_count(self) -> int:
+        """Number of scalars in the layer's input activation tensor."""
+        return self.in_channels * self.in_h * self.in_w
+
+    @property
+    def output_activation_count(self) -> int:
+        """Number of scalars in the layer's output activation tensor."""
+        return self.out_channels * self.out_h * self.out_w
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations for one inference of this layer."""
+        if self.kind == "dw":
+            return (
+                self.out_h * self.out_w * self.out_channels
+                * self.kernel_size * self.kernel_size
+            )
+        if self.kind == "fc":
+            return self.in_channels * self.out_channels
+        return (
+            self.out_h * self.out_w * self.out_channels
+            * self.in_channels * self.kernel_size * self.kernel_size
+        )
+
+    @property
+    def im2col_patch(self) -> int:
+        """Size of one im2col patch (inner-loop length of the MCU kernel)."""
+        if self.kind == "dw":
+            return self.kernel_size * self.kernel_size
+        if self.kind == "fc":
+            return self.in_channels
+        return self.in_channels * self.kernel_size * self.kernel_size
+
+
+@dataclass
+class NetworkSpec:
+    """Ordered collection of :class:`LayerSpec` describing one network."""
+
+    name: str
+    resolution: int
+    width_multiplier: float
+    num_classes: int
+    layers: List[LayerSpec] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterable[LayerSpec]:
+        return iter(self.layers)
+
+    def __getitem__(self, idx: int) -> LayerSpec:
+        return self.layers[idx]
+
+    @property
+    def total_macs(self) -> int:
+        return sum(l.macs for l in self.layers)
+
+    @property
+    def total_weights(self) -> int:
+        return sum(l.weight_count for l in self.layers)
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``"192_0.5"`` or ``"224_1.0"``."""
+        return f"{self.resolution}_{float(self.width_multiplier)}"
+
+
+def _scaled(channels: int, alpha: float) -> int:
+    """Width-multiplied channel count (MobileNetV1 uses exact scaling for
+    the canonical multipliers 0.25/0.5/0.75/1.0)."""
+    return max(int(round(channels * alpha)), 8)
+
+
+def mobilenet_v1_spec(
+    resolution: int = 224,
+    width_multiplier: float = 1.0,
+    num_classes: int = 1000,
+    in_channels: int = 3,
+) -> NetworkSpec:
+    """Build the :class:`NetworkSpec` of a MobileNetV1 configuration.
+
+    The network is the standard MobileNetV1: a full 3x3 stride-2
+    convolution followed by 13 depthwise-separable blocks (depthwise 3x3 +
+    pointwise 1x1), global average pooling and a fully connected
+    classifier.  Quantized-layer ordering (index) follows the execution
+    order, which is what Algorithms 1 and 2 iterate over.
+    """
+    if resolution % 32 != 0:
+        raise ValueError(f"MobileNetV1 resolution must be a multiple of 32, got {resolution}")
+    layers: List[LayerSpec] = []
+    idx = 0
+    h = w = resolution
+
+    def out_size(size: int, k: int, s: int, p: int) -> int:
+        return (size + 2 * p - k) // s + 1
+
+    # Initial full convolution: 3x3, stride 2, padding 1.
+    c_out = _scaled(32, width_multiplier)
+    oh = out_size(h, 3, 2, 1)
+    layers.append(LayerSpec(idx, "conv0", "conv", in_channels, c_out, 3, 2, 1, h, w, oh, oh))
+    idx += 1
+    h = w = oh
+    c_in = c_out
+
+    for b, (base_out, stride) in enumerate(_MOBILENET_BLOCKS):
+        c_out = _scaled(base_out, width_multiplier)
+        # Depthwise 3x3.
+        oh = out_size(h, 3, stride, 1)
+        layers.append(
+            LayerSpec(idx, f"block{b}_dw", "dw", c_in, c_in, 3, stride, 1, h, w, oh, oh)
+        )
+        idx += 1
+        h = w = oh
+        # Pointwise 1x1.
+        layers.append(
+            LayerSpec(idx, f"block{b}_pw", "pw", c_in, c_out, 1, 1, 0, h, w, h, w)
+        )
+        idx += 1
+        c_in = c_out
+
+    # Classifier (after global average pooling the spatial size is 1x1).
+    layers.append(
+        LayerSpec(idx, "fc", "fc", c_in, num_classes, 1, 1, 0, 1, 1, 1, 1)
+    )
+
+    return NetworkSpec(
+        name=f"mobilenet_v1_{resolution}_{float(width_multiplier)}",
+        resolution=resolution,
+        width_multiplier=width_multiplier,
+        num_classes=num_classes,
+        layers=layers,
+    )
+
+
+def all_mobilenet_configs(num_classes: int = 1000) -> List[NetworkSpec]:
+    """All 16 MobileNetV1 configurations evaluated in the paper (Fig. 2)."""
+    specs = []
+    for res in MOBILENET_RESOLUTIONS:
+        for wm in MOBILENET_WIDTH_MULTIPLIERS:
+            specs.append(mobilenet_v1_spec(res, wm, num_classes))
+    return specs

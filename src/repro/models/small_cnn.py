@@ -1,0 +1,119 @@
+"""Small MobileNet-style testbed networks for end-to-end QAT experiments.
+
+The paper trains full MobileNetV1 on ImageNet with 4 GPUs; here the same
+pipeline (fake-quantization, PACT, ICN conversion, integer inference) is
+exercised end-to-end on small networks and the synthetic dataset so the
+qualitative claims — PL+FB INT4 training collapse, ICN recovery, PC > PL,
+negligible fake-quantized vs integer-only gap — can be measured within a
+laptop-scale budget.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.models.mobilenet_v1 import ConvBNBlock
+from repro.models.model_zoo import LayerSpec, NetworkSpec
+
+
+class SmallCNN(nn.Module):
+    """A stack of conv/bn/relu blocks followed by global pooling + linear."""
+
+    def __init__(self, blocks: List[ConvBNBlock], spec: NetworkSpec, num_classes: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.spec = spec
+        self.num_classes = num_classes
+        self.features = nn.Sequential(*blocks)
+        self.pool = nn.GlobalAvgPool2d()
+        self.flatten = nn.Flatten()
+        fc_spec = spec.layers[-1]
+        self.classifier = nn.Linear(fc_spec.in_channels, num_classes, bias=True, rng=rng)
+
+    def forward(self, x):
+        x = self.features(x)
+        x = self.pool(x)
+        x = self.flatten(x)
+        return self.classifier(x)
+
+    def backward(self, grad_out):
+        grad_out = self.classifier.backward(grad_out)
+        grad_out = self.flatten.backward(grad_out)
+        grad_out = self.pool.backward(grad_out)
+        return self.features.backward(grad_out)
+
+    def conv_blocks(self) -> List[ConvBNBlock]:
+        return list(self.features)
+
+
+def _layer(idx, name, kind, cin, cout, k, s, p, hin, hout) -> LayerSpec:
+    return LayerSpec(idx, name, kind, cin, cout, k, s, p, hin, hin, hout, hout)
+
+
+def build_small_cnn(
+    resolution: int = 16,
+    channels: int = 16,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    seed: int = 0,
+) -> SmallCNN:
+    """Three plain conv/bn/relu blocks — the minimal QAT testbed."""
+    rng = np.random.default_rng(seed)
+    c = channels
+    h = resolution
+    layers = [
+        _layer(0, "conv0", "conv", in_channels, c, 3, 1, 1, h, h),
+        _layer(1, "conv1", "conv", c, 2 * c, 3, 2, 1, h, h // 2),
+        _layer(2, "conv2", "conv", 2 * c, 2 * c, 3, 1, 1, h // 2, h // 2),
+        _layer(3, "fc", "fc", 2 * c, num_classes, 1, 1, 0, 1, 1),
+    ]
+    spec = NetworkSpec("small_cnn", resolution, 1.0, num_classes, layers)
+    blocks = []
+    for l in layers[:-1]:
+        conv = nn.Conv2d(l.in_channels, l.out_channels, l.kernel_size,
+                         stride=l.stride, padding=l.padding, bias=False, rng=rng)
+        blocks.append(ConvBNBlock(conv, l.out_channels))
+    return SmallCNN(blocks, spec, num_classes, rng=rng)
+
+
+def build_tiny_mobilenet(
+    resolution: int = 32,
+    width: int = 8,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    seed: int = 0,
+) -> SmallCNN:
+    """A scaled-down MobileNetV1: conv + 3 depthwise-separable blocks.
+
+    Uses exactly the layer kinds of the real network (conv, dw, pw, fc) so
+    the mixed-precision search, ICN conversion and integer kernels are
+    exercised on every code path the full model would hit.
+    """
+    rng = np.random.default_rng(seed)
+    w = width
+    h = resolution
+    layers = [
+        _layer(0, "conv0", "conv", in_channels, w, 3, 2, 1, h, h // 2),
+        _layer(1, "block0_dw", "dw", w, w, 3, 1, 1, h // 2, h // 2),
+        _layer(2, "block0_pw", "pw", w, 2 * w, 1, 1, 0, h // 2, h // 2),
+        _layer(3, "block1_dw", "dw", 2 * w, 2 * w, 3, 2, 1, h // 2, h // 4),
+        _layer(4, "block1_pw", "pw", 2 * w, 4 * w, 1, 1, 0, h // 4, h // 4),
+        _layer(5, "block2_dw", "dw", 4 * w, 4 * w, 3, 1, 1, h // 4, h // 4),
+        _layer(6, "block2_pw", "pw", 4 * w, 4 * w, 1, 1, 0, h // 4, h // 4),
+        _layer(7, "fc", "fc", 4 * w, num_classes, 1, 1, 0, 1, 1),
+    ]
+    spec = NetworkSpec("tiny_mobilenet", resolution, 1.0, num_classes, layers)
+    blocks = []
+    for l in layers[:-1]:
+        if l.kind == "dw":
+            conv = nn.DepthwiseConv2d(l.in_channels, l.kernel_size,
+                                      stride=l.stride, padding=l.padding, bias=False, rng=rng)
+        else:
+            conv = nn.Conv2d(l.in_channels, l.out_channels, l.kernel_size,
+                             stride=l.stride, padding=l.padding, bias=False, rng=rng)
+        blocks.append(ConvBNBlock(conv, l.out_channels))
+    return SmallCNN(blocks, spec, num_classes, rng=rng)

@@ -1,0 +1,47 @@
+"""Minimal neural-network substrate used by the quantization flow.
+
+This package provides the training/inference framework the paper assumes
+(PyTorch in the original work): NCHW tensors, convolutional / depthwise /
+linear / batch-norm layers with explicit forward and backward passes,
+losses and optimizers.  Everything is plain numpy and vectorised (im2col
+convolutions), which is sufficient for quantization-aware training of the
+small and medium networks exercised in the tests, examples and benches.
+"""
+
+from repro.nn.tensor import Parameter
+from repro.nn.module import Module
+from repro.nn.sequential import Sequential
+from repro.nn.layers import (
+    Conv2d,
+    DepthwiseConv2d,
+    Linear,
+    BatchNorm2d,
+    ReLU,
+    ReLU6,
+    AvgPool2d,
+    GlobalAvgPool2d,
+    Flatten,
+    Identity,
+)
+from repro.nn.loss import CrossEntropyLoss, softmax
+from repro.nn.optim import SGD, Adam
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Sequential",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Identity",
+    "CrossEntropyLoss",
+    "softmax",
+    "SGD",
+    "Adam",
+]

@@ -1,0 +1,23 @@
+"""Weight initialisation helpers (deterministic given an explicit RNG)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_normal(shape, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He-normal initialisation for ReLU networks."""
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialisation."""
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def conv_fan_in(weight_shape) -> int:
+    """Fan-in of a convolution kernel (C_in * kh * kw)."""
+    _, c_in, kh, kw = weight_shape
+    return c_in * kh * kw

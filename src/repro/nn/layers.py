@@ -1,0 +1,321 @@
+"""Standard layers: convolutions, linear, batch-norm, activations, pooling."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW inputs.
+
+    Parameters mirror the usual framework conventions; only square
+    kernels/strides and symmetric zero padding are supported, which covers
+    every layer of the MobileNetV1 family.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(
+            init.kaiming_normal(shape, init.conv_fan_in(shape), rng), name="weight"
+        )
+        self.bias = Parameter(np.zeros(out_channels), name="bias") if bias else None
+        self._cache = None
+
+    def forward(self, x):
+        out, self._cache = F.conv2d_forward(
+            x, self.weight.data,
+            self.bias.data if self.bias is not None else None,
+            self.stride, self.padding,
+        )
+        return out
+
+    def backward(self, grad_out):
+        grad_x, grad_w, grad_b = F.conv2d_backward(grad_out, self._cache)
+        self.weight.accumulate_grad(grad_w)
+        if self.bias is not None and grad_b is not None:
+            self.bias.accumulate_grad(grad_b)
+        return grad_x
+
+    def macs(self, in_h: int, in_w: int) -> int:
+        """Multiply-accumulate count for one inference at this input size."""
+        oh = F.conv_output_size(in_h, self.kernel_size, self.stride, self.padding)
+        ow = F.conv_output_size(in_w, self.kernel_size, self.stride, self.padding)
+        return oh * ow * self.out_channels * self.in_channels * self.kernel_size ** 2
+
+
+class DepthwiseConv2d(Module):
+    """Depthwise 2-D convolution (channel multiplier 1)."""
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.channels = channels
+        self.in_channels = channels
+        self.out_channels = channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (channels, 1, kernel_size, kernel_size)
+        fan_in = kernel_size * kernel_size
+        self.weight = Parameter(init.kaiming_normal(shape, fan_in, rng), name="weight")
+        self.bias = Parameter(np.zeros(channels), name="bias") if bias else None
+        self._cache = None
+
+    def forward(self, x):
+        out, self._cache = F.depthwise_conv2d_forward(
+            x, self.weight.data,
+            self.bias.data if self.bias is not None else None,
+            self.stride, self.padding,
+        )
+        return out
+
+    def backward(self, grad_out):
+        grad_x, grad_w, grad_b = F.depthwise_conv2d_backward(grad_out, self._cache)
+        self.weight.accumulate_grad(grad_w)
+        if self.bias is not None and grad_b is not None:
+            self.bias.accumulate_grad(grad_b)
+        return grad_x
+
+    def macs(self, in_h: int, in_w: int) -> int:
+        oh = F.conv_output_size(in_h, self.kernel_size, self.stride, self.padding)
+        ow = F.conv_output_size(in_w, self.kernel_size, self.stride, self.padding)
+        return oh * ow * self.channels * self.kernel_size ** 2
+
+
+class Linear(Module):
+    """Fully connected layer: ``y = x @ W.T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform((out_features, in_features), in_features, out_features, rng),
+            name="weight",
+        )
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+        self._cache = None
+
+    def forward(self, x):
+        out, self._cache = F.linear_forward(
+            x, self.weight.data, self.bias.data if self.bias is not None else None
+        )
+        return out
+
+    def backward(self, grad_out):
+        grad_x, grad_w, grad_b = F.linear_backward(grad_out, self._cache)
+        self.weight.accumulate_grad(grad_w)
+        if self.bias is not None and grad_b is not None:
+            self.bias.accumulate_grad(grad_b)
+        return grad_x
+
+    def macs(self) -> int:
+        return self.in_features * self.out_features
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalisation over NCHW inputs.
+
+    Exposes ``freeze()`` to stop updating running statistics and learned
+    affine parameters — the paper freezes batch-norm after the first QAT
+    epoch (Section 6).
+    """
+
+    def __init__(self, channels: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.channels = channels
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(channels), name="gamma")
+        self.beta = Parameter(np.zeros(channels), name="beta")
+        self._buffers = {
+            "running_mean": np.zeros(channels),
+            "running_var": np.ones(channels),
+        }
+        self.running_mean = self._buffers["running_mean"]
+        self.running_var = self._buffers["running_var"]
+        self.frozen = False
+        self._cache = None
+
+    def freeze(self) -> None:
+        """Freeze running statistics and affine parameters (paper §6)."""
+        self.frozen = True
+        self.gamma.requires_grad = False
+        self.beta.requires_grad = False
+
+    def forward(self, x):
+        if self.training and not self.frozen:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            m = self.momentum
+            self._buffers["running_mean"] = (1 - m) * self._buffers["running_mean"] + m * mean
+            self._buffers["running_var"] = (1 - m) * self._buffers["running_var"] + m * var
+            self.running_mean = self._buffers["running_mean"]
+            self.running_var = self._buffers["running_var"]
+        else:
+            mean = self._buffers["running_mean"]
+            var = self._buffers["running_var"]
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(1, -1, 1, 1)) / std.reshape(1, -1, 1, 1)
+        out = self.gamma.data.reshape(1, -1, 1, 1) * x_hat + self.beta.data.reshape(1, -1, 1, 1)
+        self._cache = {"x_hat": x_hat, "std": std, "batch_stats": self.training and not self.frozen}
+        return out
+
+    def backward(self, grad_out):
+        x_hat = self._cache["x_hat"]
+        std = self._cache["std"]
+        n, c, h, w = grad_out.shape
+        m = n * h * w
+        grad_gamma = (grad_out * x_hat).sum(axis=(0, 2, 3))
+        grad_beta = grad_out.sum(axis=(0, 2, 3))
+        self.gamma.accumulate_grad(grad_gamma)
+        self.beta.accumulate_grad(grad_beta)
+        g = self.gamma.data.reshape(1, -1, 1, 1)
+        if self._cache["batch_stats"]:
+            # Full batch-norm backward through the batch statistics.
+            dxhat = grad_out * g
+            grad_x = (
+                dxhat
+                - dxhat.mean(axis=(0, 2, 3), keepdims=True)
+                - x_hat * (dxhat * x_hat).mean(axis=(0, 2, 3), keepdims=True)
+            ) / std.reshape(1, -1, 1, 1)
+        else:
+            # Running statistics are constants w.r.t. the input.
+            grad_x = grad_out * g / std.reshape(1, -1, 1, 1)
+        return grad_x
+
+    def channel_scale_shift(self):
+        """Return the effective per-channel (scale, shift) of the BN transform.
+
+        The ICN conversion (Eq. 3–4) needs ``gamma/sigma`` and
+        ``beta - gamma*mu/sigma`` computed from the frozen running stats.
+        """
+        std = np.sqrt(self._buffers["running_var"] + self.eps)
+        scale = self.gamma.data / std
+        shift = self.beta.data - self.gamma.data * self._buffers["running_mean"] / std
+        return scale, shift
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self):
+        super().__init__()
+        self._mask = None
+
+    def forward(self, x):
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out):
+        return grad_out * self._mask
+
+
+class ReLU6(Module):
+    """ReLU clipped at 6 (the MobileNet default activation)."""
+
+    def __init__(self):
+        super().__init__()
+        self._mask = None
+
+    def forward(self, x):
+        self._mask = (x > 0) & (x < 6.0)
+        return np.clip(x, 0.0, 6.0)
+
+    def backward(self, grad_out):
+        return grad_out * self._mask
+
+
+class AvgPool2d(Module):
+    """Average pooling with square kernel."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self._cache = None
+
+    def forward(self, x):
+        out, self._cache = F.avg_pool2d_forward(x, self.kernel_size, self.stride)
+        return out
+
+    def backward(self, grad_out):
+        return F.avg_pool2d_backward(grad_out, self._cache)
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling to a 1x1 spatial map."""
+
+    def __init__(self):
+        super().__init__()
+        self._cache = None
+
+    def forward(self, x):
+        out, self._cache = F.global_avg_pool2d_forward(x)
+        return out
+
+    def backward(self, grad_out):
+        return F.global_avg_pool2d_backward(grad_out, self._cache)
+
+
+class Flatten(Module):
+    """Flatten all non-batch dimensions."""
+
+    def __init__(self):
+        super().__init__()
+        self._shape = None
+
+    def forward(self, x):
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out):
+        return grad_out.reshape(self._shape)
+
+
+class Identity(Module):
+    """Pass-through module (useful as a placeholder)."""
+
+    def forward(self, x):
+        return x
+
+    def backward(self, grad_out):
+        return grad_out

@@ -1,0 +1,58 @@
+"""Loss functions and classification helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class targets.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient of
+    the mean loss w.r.t. the logits.
+    """
+
+    def __init__(self):
+        self._probs = None
+        self._targets = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D (N, classes), got {logits.shape}")
+        probs = softmax(logits, axis=1)
+        self._probs = probs
+        self._targets = np.asarray(targets, dtype=np.int64)
+        n = logits.shape[0]
+        eps = 1e-12
+        picked = probs[np.arange(n), self._targets]
+        return float(-np.log(picked + eps).mean())
+
+    def backward(self) -> np.ndarray:
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._targets] -= 1.0
+        return grad / n
+
+    def __call__(self, logits, targets):
+        return self.forward(logits, targets)
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy of a batch of logits against integer targets."""
+    preds = np.argmax(logits, axis=1)
+    return float((preds == np.asarray(targets)).mean())
+
+
+def topk_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy of a batch of logits against integer targets."""
+    k = min(k, logits.shape[1])
+    topk = np.argsort(-logits, axis=1)[:, :k]
+    targets = np.asarray(targets).reshape(-1, 1)
+    return float((topk == targets).any(axis=1).mean())

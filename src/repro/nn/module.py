@@ -1,0 +1,134 @@
+"""Module base class: parameter registration, train/eval mode, traversal."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Sub-classes implement :meth:`forward` and :meth:`backward`.  The
+    backward pass receives the gradient of the loss w.r.t. the module's
+    output and must return the gradient w.r.t. its input, accumulating
+    parameter gradients into the registered :class:`Parameter` objects.
+    """
+
+    def __init__(self):
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training: bool = True
+
+    # -- registration --------------------------------------------------
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        if not param.name:
+            param.name = name
+        self._parameters[name] = param
+        return param
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        self._modules[name] = module
+        return module
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            # Lazily create the dicts so Parameter assignment works even
+            # before Module.__init__ has run in a subclass.
+            if "_parameters" not in self.__dict__:
+                object.__setattr__(self, "_parameters", {})
+            if not value.name:
+                value.name = name
+            self.__dict__["_parameters"][name] = value
+        elif isinstance(value, Module):
+            if "_modules" not in self.__dict__:
+                object.__setattr__(self, "_modules", {})
+            self.__dict__["_modules"][name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal ------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its children (depth-first)."""
+        out: List[Parameter] = list(self._parameters.values())
+        for child in self._modules.values():
+            out.extend(child.parameters())
+        return out
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}" if prefix else name), p
+        for cname, child in self._modules.items():
+            child_prefix = f"{prefix}{cname}." if prefix else f"{cname}."
+            yield from child.named_parameters(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant module."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for cname, child in self._modules.items():
+            child_prefix = f"{prefix}.{cname}" if prefix else cname
+            yield from child.named_modules(child_prefix)
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    # -- state ----------------------------------------------------------
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        """Flat mapping of parameter (and buffer) names to value copies."""
+        state: Dict[str, np.ndarray] = {}
+        for name, p in self.named_parameters():
+            state[name] = p.data.copy()
+        for name, mod in self.named_modules():
+            for bname, buf in getattr(mod, "_buffers", {}).items():
+                key = f"{name}.{bname}" if name else bname
+                state[key] = np.array(buf, copy=True)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for name, p in self.named_parameters():
+            if name in state:
+                p.copy_(state[name])
+        for name, mod in self.named_modules():
+            bufs = getattr(mod, "_buffers", None)
+            if not bufs:
+                continue
+            for bname in list(bufs.keys()):
+                key = f"{name}.{bname}" if name else bname
+                if key in state:
+                    bufs[bname] = np.array(state[key], copy=True)
+                    object.__setattr__(mod, bname, bufs[bname])
+
+    # -- mode -----------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- compute --------------------------------------------------------
+    def forward(self, x):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad_out):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x):
+        return self.forward(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        child_repr = ", ".join(self._modules.keys())
+        return f"{type(self).__name__}({child_repr})"

@@ -1,0 +1,49 @@
+"""Sequential container: ordered chain of modules with chained backward."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """A container executing its children in order.
+
+    The backward pass walks the children in reverse, which is sufficient
+    for the strictly sequential MobileNetV1-style networks used here.
+    """
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: List[str] = []
+        for i, m in enumerate(modules):
+            name = f"layer{i}"
+            self.register_module(name, m)
+            self._order.append(name)
+
+    def append(self, module: Module) -> "Sequential":
+        name = f"layer{len(self._order)}"
+        self.register_module(name, module)
+        self._order.append(name)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._modules[self._order[idx]]
+
+    def __iter__(self) -> Iterator[Module]:
+        for name in self._order:
+            yield self._modules[name]
+
+    def forward(self, x):
+        for name in self._order:
+            x = self._modules[name](x)
+        return x
+
+    def backward(self, grad_out):
+        for name in reversed(self._order):
+            grad_out = self._modules[name].backward(grad_out)
+        return grad_out

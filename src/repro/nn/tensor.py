@@ -1,0 +1,79 @@
+"""Learnable parameter container.
+
+The framework uses module-level explicit backward passes rather than a
+tape-based autograd; a :class:`Parameter` simply pairs a value array with
+an accumulated gradient of the same shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor: a float64/float32 array plus its gradient.
+
+    Parameters
+    ----------
+    data:
+        Initial value.  Copied and stored as ``float64`` unless a float32
+        array is passed explicitly.
+    name:
+        Optional human-readable name (used in optimizer state and debug
+        output).
+    requires_grad:
+        When ``False`` the parameter is frozen: optimizers skip it and
+        ``accumulate_grad`` becomes a no-op.
+    """
+
+    __slots__ = ("data", "grad", "name", "requires_grad")
+
+    def __init__(self, data, name: str = "", requires_grad: bool = True):
+        arr = np.asarray(data)
+        if arr.dtype not in (np.float32, np.float64):
+            arr = arr.astype(np.float64)
+        self.data = np.array(arr, copy=True)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.requires_grad = requires_grad
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad.fill(0.0)
+
+    def accumulate_grad(self, grad) -> None:
+        """Add ``grad`` to the stored gradient (no-op when frozen)."""
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"shape {self.data.shape} for parameter '{self.name}'"
+            )
+        self.grad += grad
+
+    def copy_(self, value) -> None:
+        """In-place overwrite of the parameter value."""
+        value = np.asarray(value, dtype=self.data.dtype)
+        if value.shape != self.data.shape:
+            raise ValueError(
+                f"value shape {value.shape} does not match parameter shape "
+                f"{self.data.shape}"
+            )
+        np.copyto(self.data, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Parameter(name={self.name!r}, shape={self.data.shape}, "
+            f"requires_grad={self.requires_grad})"
+        )

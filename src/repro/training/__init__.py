@@ -1,0 +1,14 @@
+"""Training pipelines: full-precision pretraining and quantization-aware
+training (QAT) following the schedule of the paper's §6."""
+
+from repro.training.trainer import Trainer, TrainConfig
+from repro.training.qat import prepare_qat, QATConfig, QATTrainer, evaluate_model
+
+__all__ = [
+    "Trainer",
+    "TrainConfig",
+    "prepare_qat",
+    "QATConfig",
+    "QATTrainer",
+    "evaluate_model",
+]

@@ -1,0 +1,167 @@
+"""Quantization-aware training (QAT) pipeline (paper §3 and §6).
+
+``prepare_qat`` rewrites a full-precision model in place: every
+conv/bn/relu block becomes a :class:`QuantConvBNBlock` (fake-quantized
+weights + PACT activation quantizer) and the classifier becomes a
+:class:`QuantLinear`, with bit widths taken from a
+:class:`~repro.core.policy.QuantPolicy`.
+
+``QATTrainer`` then follows the paper's §6 schedule: Adam, a stepped
+learning-rate decay, batch-norm freezing after the first epoch, and —
+for the PL+FB strategy — batch-norm folding activated from the second
+epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.core.fake_quant import PACTFakeQuant, QuantConvBNBlock, QuantLinear
+from repro.core.policy import QuantMethod, QuantPolicy
+from repro.data.calibration import collect_activation_ranges
+from repro.data.synthetic import SyntheticImageDataset
+from repro.models.mobilenet_v1 import ConvBNBlock
+from repro.training.trainer import evaluate
+
+
+def _weight_scheme(method: QuantMethod) -> str:
+    """Weight quantization scheme per deployment strategy (paper §6):
+    PACT/symmetric per-layer for PL, min/max per-channel for PC."""
+    return "minmax_pc" if method.per_channel else "pact_pl"
+
+
+def prepare_qat(
+    model,
+    policy: QuantPolicy,
+    method: Optional[QuantMethod] = None,
+    calibration_data: Optional[np.ndarray] = None,
+    act_alpha_init: float = 6.0,
+):
+    """Rewrite ``model`` in place into its fake-quantized form g(x).
+
+    ``model`` must expose ``features`` (Sequential of ConvBNBlock),
+    ``pool``, ``flatten`` and ``classifier`` — the structure of
+    :class:`MobileNetV1` and the small testbed networks.  The policy must
+    have one entry per conv block plus one for the classifier (its last
+    layer).  When ``calibration_data`` is given, the PACT clipping bounds
+    are initialised from the 99.9th percentile of each block's output.
+    """
+    method = method or policy.method
+    blocks = list(model.features)
+    if len(policy) != len(blocks) + 1:
+        raise ValueError(
+            f"policy has {len(policy)} layers; expected {len(blocks)} conv blocks "
+            f"plus a classifier"
+        )
+
+    # Optional calibration pass on the full-precision model.
+    alpha_inits = [act_alpha_init] * len(blocks)
+    if calibration_data is not None:
+        stats = collect_activation_ranges(model, calibration_data)
+        alpha_inits = [max(s["percentile"], 1e-3) for s in stats]
+
+    scheme = _weight_scheme(method)
+    fold = method.folds_batchnorm
+    new_blocks = []
+    for i, block in enumerate(blocks):
+        if isinstance(block, QuantConvBNBlock):
+            raise ValueError("model is already prepared for QAT")
+        if not isinstance(block, ConvBNBlock):
+            raise TypeError(f"block {i} is {type(block).__name__}, expected ConvBNBlock")
+        lp = policy[i]
+        qblock = QuantConvBNBlock(
+            block,
+            weight_bits=lp.q_w,
+            act_bits=lp.q_out,
+            weight_scheme=scheme,
+            fold_bn=fold,
+            act_alpha_init=alpha_inits[i],
+        )
+        new_blocks.append(qblock)
+
+    model.features = nn.Sequential(*new_blocks)
+    model.classifier = QuantLinear(
+        model.classifier, weight_bits=policy[len(blocks)].q_w, weight_scheme=scheme
+    )
+    return model
+
+
+@dataclass
+class QATConfig:
+    """QAT hyper-parameters mirroring the paper's §6 recipe (scaled down)."""
+
+    epochs: int = 4
+    batch_size: int = 32
+    lr: float = 1e-4
+    lr_schedule: dict = field(default_factory=lambda: {2: 5e-5, 3: 1e-5})
+    freeze_bn_after_epoch: int = 1
+    enable_folding_after_epoch: int = 1
+    seed: int = 0
+
+
+@dataclass
+class QATResult:
+    train_loss: List[float] = field(default_factory=list)
+    train_acc: List[float] = field(default_factory=list)
+    test_acc: List[float] = field(default_factory=list)
+
+    @property
+    def final_test_acc(self) -> float:
+        return self.test_acc[-1] if self.test_acc else 0.0
+
+
+class QATTrainer:
+    """Quantization-aware retraining loop."""
+
+    def __init__(self, model, config: QATConfig | None = None):
+        self.model = model
+        self.config = config or QATConfig()
+        self.optimizer = nn.Adam(model.parameters(), lr=self.config.lr)
+        self.criterion = nn.CrossEntropyLoss()
+
+    def _apply_schedule(self, epoch: int) -> None:
+        cfg = self.config
+        if epoch in cfg.lr_schedule:
+            self.optimizer.set_lr(cfg.lr_schedule[epoch])
+        if epoch == cfg.freeze_bn_after_epoch:
+            for module in self.model.modules():
+                if isinstance(module, nn.BatchNorm2d):
+                    module.freeze()
+        if epoch == cfg.enable_folding_after_epoch:
+            for module in self.model.modules():
+                if isinstance(module, QuantConvBNBlock):
+                    module.enable_folding()
+
+    def fit(self, dataset: SyntheticImageDataset) -> QATResult:
+        rng = np.random.default_rng(self.config.seed)
+        result = QATResult()
+        self.model.train()
+        for epoch in range(self.config.epochs):
+            self._apply_schedule(epoch)
+            losses, accs = [], []
+            for xb, yb in dataset.batches(self.config.batch_size, rng, train=True):
+                self.optimizer.zero_grad()
+                logits = self.model(xb)
+                loss = self.criterion(logits, yb)
+                grad = self.criterion.backward()
+                self.model.backward(grad)
+                self.optimizer.step()
+                # PACT alphas must stay strictly positive.
+                for module in self.model.modules():
+                    if isinstance(module, PACTFakeQuant):
+                        module.alpha.data[...] = np.maximum(module.alpha.data, 1e-3)
+                losses.append(loss)
+                accs.append(float((np.argmax(logits, axis=1) == yb).mean()))
+            result.train_loss.append(float(np.mean(losses)))
+            result.train_acc.append(float(np.mean(accs)))
+            result.test_acc.append(evaluate(self.model, dataset.x_test, dataset.y_test))
+        return result
+
+
+def evaluate_model(model, dataset: SyntheticImageDataset) -> float:
+    """Top-1 accuracy of a (fake-quantized or full-precision) model."""
+    return evaluate(model, dataset.x_test, dataset.y_test)

@@ -1,0 +1,79 @@
+"""Plain full-precision training loop (the "pretrained f(x)" of Fig. 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro import nn
+from repro.data.synthetic import SyntheticImageDataset
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of full-precision training."""
+
+    epochs: int = 5
+    batch_size: int = 32
+    lr: float = 1e-3
+    weight_decay: float = 0.0
+    seed: int = 0
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch history of a training run."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_acc: List[float] = field(default_factory=list)
+    test_acc: List[float] = field(default_factory=list)
+
+    @property
+    def final_test_acc(self) -> float:
+        return self.test_acc[-1] if self.test_acc else 0.0
+
+
+def evaluate(model, x: np.ndarray, y: np.ndarray, batch_size: int = 64) -> float:
+    """Top-1 accuracy of a model on a dataset split."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    for start in range(0, len(x), batch_size):
+        logits = model(x[start : start + batch_size])
+        correct += int((np.argmax(logits, axis=1) == y[start : start + batch_size]).sum())
+    model.train(was_training)
+    return correct / max(len(x), 1)
+
+
+class Trainer:
+    """Minimal full-precision trainer used to produce pretrained weights."""
+
+    def __init__(self, model, config: TrainConfig | None = None):
+        self.model = model
+        self.config = config or TrainConfig()
+        self.optimizer = nn.Adam(
+            model.parameters(), lr=self.config.lr, weight_decay=self.config.weight_decay
+        )
+        self.criterion = nn.CrossEntropyLoss()
+
+    def fit(self, dataset: SyntheticImageDataset) -> TrainResult:
+        rng = np.random.default_rng(self.config.seed)
+        result = TrainResult()
+        self.model.train()
+        for _ in range(self.config.epochs):
+            losses, accs = [], []
+            for xb, yb in dataset.batches(self.config.batch_size, rng, train=True):
+                self.optimizer.zero_grad()
+                logits = self.model(xb)
+                loss = self.criterion(logits, yb)
+                grad = self.criterion.backward()
+                self.model.backward(grad)
+                self.optimizer.step()
+                losses.append(loss)
+                accs.append(float((np.argmax(logits, axis=1) == yb).mean()))
+            result.train_loss.append(float(np.mean(losses)))
+            result.train_acc.append(float(np.mean(accs)))
+            result.test_acc.append(evaluate(self.model, dataset.x_test, dataset.y_test))
+        return result

@@ -1,0 +1,68 @@
+"""Shared fixtures: synthetic datasets, small models and a trained
+fake-quantized model reused across integration tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.policy import QuantMethod, QuantPolicy
+from repro.data import make_synthetic_classification
+from repro.training import QATConfig, QATTrainer, TrainConfig, Trainer, prepare_qat
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small, easy synthetic classification task (5 classes, 16x16)."""
+    return make_synthetic_classification(
+        num_classes=5, resolution=16, train_per_class=40, test_per_class=12, seed=1
+    )
+
+
+@pytest.fixture(scope="session")
+def pretrained_tiny_model(small_dataset):
+    """A tiny MobileNet-style model trained in full precision."""
+    model = repro.build_tiny_mobilenet(resolution=16, width=8, num_classes=5, seed=0)
+    trainer = Trainer(model, TrainConfig(epochs=4, batch_size=32, lr=3e-3, seed=0))
+    result = trainer.fit(small_dataset)
+    model.eval()
+    return model, result
+
+
+def _clone_pretrained(small_dataset, seed: int = 0):
+    """Re-train the same tiny model (weights are deterministic given seed)."""
+    model = repro.build_tiny_mobilenet(resolution=16, width=8, num_classes=5, seed=seed)
+    Trainer(model, TrainConfig(epochs=4, batch_size=32, lr=3e-3, seed=seed)).fit(small_dataset)
+    return model
+
+
+@pytest.fixture(scope="session")
+def qat_pc_icn_model(small_dataset):
+    """A QAT-trained (PC, 8-bit) model ready for ICN conversion."""
+    model = _clone_pretrained(small_dataset)
+    policy = QuantPolicy.uniform(model.spec, method=QuantMethod.PC_ICN, bits=8)
+    prepare_qat(model, policy, calibration_data=small_dataset.x_train[:64])
+    QATTrainer(model, QATConfig(epochs=3, batch_size=32, lr=1e-3, lr_schedule={2: 5e-4})).fit(
+        small_dataset
+    )
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def qat_pc_icn_4bit_model(small_dataset):
+    """A QAT-trained per-channel 4-bit model (weights and activations)."""
+    model = _clone_pretrained(small_dataset)
+    policy = QuantPolicy.uniform(model.spec, method=QuantMethod.PC_ICN, bits=4)
+    prepare_qat(model, policy, calibration_data=small_dataset.x_train[:64])
+    QATTrainer(model, QATConfig(epochs=3, batch_size=32, lr=1e-3, lr_schedule={2: 5e-4})).fit(
+        small_dataset
+    )
+    model.eval()
+    return model
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

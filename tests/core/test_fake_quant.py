@@ -1,0 +1,208 @@
+"""Fake-quantization modules: PACT activation quantizer, weight quantizers
+and the fake-quantized conv/bn block used during QAT."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.fake_quant import (
+    PACTFakeQuant,
+    QuantConvBNBlock,
+    QuantLinear,
+    WeightFakeQuant,
+)
+from repro.core.quantizer import per_channel_minmax
+from repro import nn
+from repro.models.mobilenet_v1 import ConvBNBlock
+
+
+class TestPACTFakeQuant:
+    def test_output_on_grid(self, rng):
+        q = PACTFakeQuant(bits=4, alpha_init=4.0)
+        x = rng.uniform(-2, 6, size=(2, 3, 5, 5))
+        y = q(x)
+        codes = y / q.scale
+        assert np.allclose(codes, np.round(codes))
+        assert y.min() >= 0 and y.max() <= 4.0
+
+    def test_negative_inputs_clipped_to_zero(self, rng):
+        q = PACTFakeQuant(bits=8, alpha_init=6.0)
+        y = q(-np.abs(rng.normal(size=100)))
+        assert np.allclose(y, 0.0)
+
+    def test_scale_definition(self):
+        q = PACTFakeQuant(bits=4, alpha_init=3.0)
+        assert np.isclose(q.scale, 3.0 / 15)
+        assert q.zero_point == 0
+
+    def test_floor_rounding(self):
+        q = PACTFakeQuant(bits=8, alpha_init=255.0)  # scale exactly 1
+        y = q(np.array([1.99, 2.0, 2.01]))
+        assert np.allclose(y, [1.0, 2.0, 2.0])
+
+    def test_ste_gradient_masks_clipped_inputs(self):
+        q = PACTFakeQuant(bits=8, alpha_init=2.0)
+        x = np.array([-1.0, 1.0, 3.0])
+        q(x)
+        gx = q.backward(np.ones(3))
+        assert np.allclose(gx, [0.0, 1.0, 0.0])
+
+    def test_alpha_gradient_counts_clipped_inputs(self):
+        q = PACTFakeQuant(bits=8, alpha_init=2.0)
+        x = np.array([-1.0, 1.0, 3.0, 5.0])
+        q(x)
+        q.backward(np.ones(4))
+        assert np.isclose(q.alpha.grad[0], 2.0)
+
+    def test_alpha_not_learned_when_disabled(self):
+        q = PACTFakeQuant(bits=8, alpha_init=2.0, learn_alpha=False)
+        q(np.array([5.0]))
+        q.backward(np.ones(1))
+        assert np.allclose(q.alpha.grad, 0.0)
+
+    def test_set_bits(self):
+        q = PACTFakeQuant(bits=8)
+        q.set_bits(2)
+        assert q.bits == 2 and q.quant_spec().levels == 4
+
+    def test_quantize_integer_codes(self, rng):
+        q = PACTFakeQuant(bits=4, alpha_init=4.0)
+        x = rng.uniform(0, 4, size=50)
+        codes = q.quantize_integer(x)
+        assert codes.min() >= 0 and codes.max() <= 15
+        assert np.allclose(codes * q.scale, q(x))
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            PACTFakeQuant(bits=8, alpha_init=0.0)
+
+
+class TestWeightFakeQuant:
+    def test_minmax_pl_range_covers_tensor(self, rng):
+        wq = WeightFakeQuant(bits=8, scheme="minmax_pl")
+        w = rng.normal(size=(8, 4, 3, 3))
+        fq = wq.fake_quantize(w)
+        assert np.max(np.abs(fq - w)) < (w.max() - w.min()) / 255 + 1e-9
+
+    def test_minmax_pc_lower_error_than_pl(self, rng):
+        """Per-channel quantization approximates heterogeneous channels better."""
+        w = rng.normal(size=(16, 8, 3, 3)) * rng.uniform(0.05, 2.0, size=(16, 1, 1, 1))
+        err_pl = np.mean((WeightFakeQuant(4, "minmax_pl").fake_quantize(w) - w) ** 2)
+        err_pc = np.mean((WeightFakeQuant(4, "minmax_pc").fake_quantize(w) - w) ** 2)
+        assert err_pc < err_pl
+
+    def test_pact_pl_symmetric(self, rng):
+        wq = WeightFakeQuant(bits=8, scheme="pact_pl")
+        w = rng.normal(size=(4, 4, 3, 3))
+        a, b = wq.ranges(w)
+        assert np.isclose(a, -b)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            WeightFakeQuant(bits=8, scheme="log2")
+
+    def test_quantize_integer_per_channel_shapes(self, rng):
+        wq = WeightFakeQuant(bits=4, scheme="minmax_pc")
+        w = rng.normal(size=(6, 3, 3, 3))
+        codes, scale, zp = wq.quantize_integer(w)
+        assert codes.shape == w.shape
+        assert scale.shape == (6,) and zp.shape == (6,)
+        assert codes.min() >= 0 and codes.max() <= 15
+
+    def test_quantize_integer_per_layer_scalars(self, rng):
+        wq = WeightFakeQuant(bits=4, scheme="minmax_pl")
+        codes, scale, zp = wq.quantize_integer(rng.normal(size=(6, 3, 3, 3)))
+        assert scale.shape == (1,) and zp.shape == (1,)
+
+    def test_dequantized_integer_matches_fake_quantize(self, rng):
+        wq = WeightFakeQuant(bits=4, scheme="minmax_pc")
+        w = rng.normal(size=(5, 2, 3, 3))
+        codes, scale, zp = wq.quantize_integer(w)
+        deq = (codes - zp.reshape(-1, 1, 1, 1)) * scale.reshape(-1, 1, 1, 1)
+        assert np.allclose(deq, wq.fake_quantize(w))
+
+    def test_per_channel_flag(self):
+        assert WeightFakeQuant(8, "minmax_pc").per_channel
+        assert not WeightFakeQuant(8, "minmax_pl").per_channel
+        assert not WeightFakeQuant(8, "pact_pl").per_channel
+
+
+def _make_block(rng, channels=4):
+    conv = nn.Conv2d(3, channels, 3, padding=1, bias=False, rng=rng)
+    return ConvBNBlock(conv, channels)
+
+
+class TestQuantConvBNBlock:
+    def test_forward_preserves_master_weights(self, rng):
+        block = _make_block(rng)
+        w_before = block.conv.weight.data.copy()
+        qblock = QuantConvBNBlock(block, weight_bits=4, act_bits=4)
+        qblock(rng.normal(size=(2, 3, 8, 8)))
+        assert np.allclose(qblock.conv.weight.data, w_before)
+
+    def test_output_is_quantized(self, rng):
+        block = _make_block(rng)
+        qblock = QuantConvBNBlock(block, weight_bits=8, act_bits=4, act_alpha_init=4.0)
+        y = qblock(rng.normal(size=(2, 3, 8, 8)))
+        codes = y / qblock.act_quant.scale
+        assert np.allclose(codes, np.round(codes), atol=1e-9)
+
+    def test_backward_accumulates_conv_gradients(self, rng):
+        block = _make_block(rng)
+        qblock = QuantConvBNBlock(block, weight_bits=4, act_bits=8)
+        y = qblock(rng.normal(size=(2, 3, 8, 8)))
+        qblock.backward(np.ones_like(y))
+        assert np.any(qblock.conv.weight.grad != 0)
+
+    def test_folding_inactive_until_enabled(self, rng):
+        block = _make_block(rng)
+        qblock = QuantConvBNBlock(block, weight_bits=8, act_bits=8, fold_bn=True)
+        assert not qblock.folding_active
+        qblock.enable_folding()
+        assert qblock.folding_active
+
+    def test_enable_folding_noop_without_fold_bn(self, rng):
+        block = _make_block(rng)
+        qblock = QuantConvBNBlock(block, weight_bits=8, act_bits=8, fold_bn=False)
+        qblock.enable_folding()
+        assert not qblock.folding_active
+
+    def test_folded_forward_runs_and_restores_weights(self, rng):
+        block = _make_block(rng)
+        # Populate batch-norm running statistics first.
+        for _ in range(3):
+            block(rng.normal(size=(4, 3, 8, 8)))
+        qblock = QuantConvBNBlock(block, weight_bits=4, act_bits=8, fold_bn=True)
+        qblock.enable_folding()
+        w_before = qblock.conv.weight.data.copy()
+        y = qblock(rng.normal(size=(2, 3, 8, 8)))
+        qblock.backward(np.ones_like(y))
+        assert np.allclose(qblock.conv.weight.data, w_before)
+        assert np.isfinite(qblock.conv.weight.grad).all()
+
+    def test_set_bits(self, rng):
+        qblock = QuantConvBNBlock(_make_block(rng), weight_bits=8, act_bits=8)
+        qblock.set_bits(4, 2)
+        assert qblock.weight_quant.bits == 4 and qblock.act_quant.bits == 2
+
+
+class TestQuantLinear:
+    def test_forward_and_weight_restoration(self, rng):
+        lin = nn.Linear(10, 4, rng=rng)
+        w_before = lin.weight.data.copy()
+        qlin = QuantLinear(lin, weight_bits=4)
+        y = qlin(rng.normal(size=(3, 10)))
+        assert y.shape == (3, 4)
+        assert np.allclose(qlin.linear.weight.data, w_before)
+
+    def test_backward(self, rng):
+        qlin = QuantLinear(nn.Linear(10, 4, rng=rng), weight_bits=4)
+        y = qlin(rng.normal(size=(3, 10)))
+        gx = qlin.backward(np.ones_like(y))
+        assert gx.shape == (3, 10)
+        assert np.any(qlin.linear.weight.grad != 0)
+
+    def test_set_bits(self, rng):
+        qlin = QuantLinear(nn.Linear(10, 4, rng=rng), weight_bits=8)
+        qlin.set_bits(2)
+        assert qlin.weight_quant.bits == 2

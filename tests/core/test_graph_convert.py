@@ -1,0 +1,83 @@
+"""Conversion of fake-quantized models into integer-only networks."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.fake_quant import QuantConvBNBlock
+from repro.core.graph_convert import convert_to_integer_network
+from repro.core.icn import ICNParams, FoldedBNParams, ThresholdParams
+from repro.core.policy import QuantMethod, QuantPolicy
+from repro.training import prepare_qat, QATTrainer, QATConfig, evaluate_model
+
+
+class TestConvertStructure:
+    def test_layer_count_and_kinds(self, qat_pc_icn_model):
+        net = convert_to_integer_network(qat_pc_icn_model, method=QuantMethod.PC_ICN)
+        assert len(net.conv_layers) == len(qat_pc_icn_model.spec) - 1
+        kinds = [l.kind for l in net.conv_layers]
+        assert "dw" in kinds and ("conv" in kinds or "pw" in kinds)
+
+    def test_per_channel_parameters(self, qat_pc_icn_model):
+        net = convert_to_integer_network(qat_pc_icn_model, method=QuantMethod.PC_ICN)
+        for layer in net.conv_layers:
+            assert isinstance(layer.params, ICNParams)
+            assert layer.params.per_channel
+            c_o = layer.params.weights_q.shape[0]
+            assert layer.params.z_w.shape == (c_o,)
+            assert layer.params.m0.shape == (c_o,)
+
+    def test_thresholds_strategy(self, qat_pc_icn_model):
+        net = convert_to_integer_network(qat_pc_icn_model, method=QuantMethod.PC_THRESHOLDS)
+        for layer in net.conv_layers:
+            assert isinstance(layer.params, ThresholdParams)
+
+    def test_folded_strategy(self, qat_pc_icn_model):
+        net = convert_to_integer_network(qat_pc_icn_model, method=QuantMethod.PL_FB)
+        for layer in net.conv_layers:
+            assert isinstance(layer.params, FoldedBNParams)
+
+    def test_scale_chain_consistency(self, qat_pc_icn_model):
+        """Each layer's input scale equals the previous layer's output scale."""
+        net = convert_to_integer_network(qat_pc_icn_model, method=QuantMethod.PC_ICN)
+        for prev, nxt in zip(net.conv_layers[:-1], net.conv_layers[1:]):
+            assert np.isclose(prev.out_scale, nxt.in_scale)
+            assert prev.out_bits == nxt.in_bits
+
+    def test_rejects_unprepared_model(self, small_dataset):
+        model = repro.build_tiny_mobilenet(resolution=16, width=8, num_classes=5)
+        with pytest.raises(TypeError):
+            convert_to_integer_network(model)
+
+    def test_classifier_converted(self, qat_pc_icn_model):
+        net = convert_to_integer_network(qat_pc_icn_model, method=QuantMethod.PC_ICN)
+        assert net.classifier is not None
+        assert net.classifier.weights_q.shape[0] == qat_pc_icn_model.num_classes
+
+
+class TestConvertAccuracy:
+    def test_icn_conversion_near_lossless(self, qat_pc_icn_model, small_dataset):
+        """The paper's central claim about ICN: converting the fake-quantized
+        graph to integer-only arithmetic costs almost no accuracy."""
+        fq_acc = evaluate_model(qat_pc_icn_model, small_dataset)
+        net = convert_to_integer_network(qat_pc_icn_model, method=QuantMethod.PC_ICN)
+        preds = net.predict(small_dataset.x_test)
+        int_acc = float((preds == small_dataset.y_test).mean())
+        assert int_acc >= fq_acc - 0.05
+
+    def test_thresholds_match_icn_predictions(self, qat_pc_icn_model, small_dataset):
+        """Integer thresholds are an exact reformulation of the ICN layer, so
+        end-to-end predictions must be identical."""
+        icn_net = convert_to_integer_network(qat_pc_icn_model, method=QuantMethod.PC_ICN)
+        thr_net = convert_to_integer_network(qat_pc_icn_model, method=QuantMethod.PC_THRESHOLDS)
+        x = small_dataset.x_test[:16]
+        assert np.array_equal(icn_net.predict(x), thr_net.predict(x))
+
+    def test_4bit_model_converts_and_classifies(self, qat_pc_icn_4bit_model, small_dataset):
+        net = convert_to_integer_network(qat_pc_icn_4bit_model, method=QuantMethod.PC_ICN)
+        for layer in net.conv_layers:
+            assert layer.out_bits == 4 and layer.params.w_bits == 4
+        preds = net.predict(small_dataset.x_test)
+        acc = float((preds == small_dataset.y_test).mean())
+        # Far better than the 20 % chance level of the 5-class task.
+        assert acc > 0.5

@@ -1,0 +1,167 @@
+"""Memory model tests (Table 1, Eq. 6-7), including paper-level totals."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.memory_model import (
+    MemoryModel,
+    layer_extra_params_bytes,
+    layer_rw_bytes,
+    layer_weight_bytes,
+    network_ro_bytes,
+    network_rw_peak_bytes,
+    table1_row,
+    tensor_bytes,
+)
+from repro.core.policy import QuantMethod, QuantPolicy
+from repro.models.model_zoo import mobilenet_v1_spec
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def spec224():
+    return mobilenet_v1_spec(224, 1.0)
+
+
+class TestTensorBytes:
+    def test_byte_exact(self):
+        assert tensor_bytes(100, 8) == 100
+        assert tensor_bytes(100, 4) == 50
+        assert tensor_bytes(100, 2) == 25
+
+    def test_rounds_up(self):
+        assert tensor_bytes(3, 2) == 1
+        assert tensor_bytes(5, 4) == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            tensor_bytes(-1, 8)
+        with pytest.raises(ValueError):
+            tensor_bytes(1, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(count=st.integers(0, 10_000), bits=st.sampled_from([2, 4, 8]))
+    def test_property_matches_ceil(self, count, bits):
+        assert tensor_bytes(count, bits) == math.ceil(count * bits / 8)
+
+    @settings(max_examples=50, deadline=None)
+    @given(count=st.integers(0, 10_000))
+    def test_property_monotone_in_bits(self, count):
+        assert tensor_bytes(count, 2) <= tensor_bytes(count, 4) <= tensor_bytes(count, 8)
+
+
+class TestTable1:
+    def test_row_pl_fb(self, spec224):
+        layer = spec224.layers[14]
+        row = table1_row(layer, QuantMethod.PL_FB)
+        c_o = layer.out_channels
+        assert row["Zw"] == 1 and row["Bq"] == c_o and row["M0"] == 1 and row["N0"] == 1
+        assert row["Thr"] == 0
+
+    def test_row_pl_icn(self, spec224):
+        layer = spec224.layers[14]
+        row = table1_row(layer, QuantMethod.PL_ICN)
+        c_o = layer.out_channels
+        assert row["Zw"] == 1 and row["M0"] == c_o and row["N0"] == c_o
+
+    def test_row_pc_icn(self, spec224):
+        layer = spec224.layers[14]
+        row = table1_row(layer, QuantMethod.PC_ICN)
+        c_o = layer.out_channels
+        assert row["Zw"] == c_o and row["Bq"] == c_o and row["M0"] == c_o
+
+    def test_row_thresholds_grows_exponentially_with_q(self, spec224):
+        layer = spec224.layers[14]
+        r4 = table1_row(layer, QuantMethod.PC_THRESHOLDS, q_out=4)
+        r8 = table1_row(layer, QuantMethod.PC_THRESHOLDS, q_out=8)
+        assert r8["Thr"] == 16 * r4["Thr"]
+
+    def test_weights_count_matches_spec(self, spec224):
+        layer = spec224.layers[14]
+        row = table1_row(layer, QuantMethod.PC_ICN)
+        assert row["Weights"] == layer.weight_count
+
+    def test_extra_bytes_ordering(self, spec224):
+        """PL+FB < PL+ICN < PC+ICN < PC+Thresholds for any conv layer."""
+        layer = spec224.layers[14]
+        sizes = [
+            layer_extra_params_bytes(layer, m, q_out=4)
+            for m in (
+                QuantMethod.PL_FB,
+                QuantMethod.PL_ICN,
+                QuantMethod.PC_ICN,
+                QuantMethod.PC_THRESHOLDS,
+            )
+        ]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+
+class TestNetworkTotals:
+    def test_weight_bytes_224_int8_close_to_paper(self, spec224):
+        """Paper Table 2: PL+FB INT8 footprint is ~4.06 MB."""
+        policy = QuantPolicy.uniform(spec224, method=QuantMethod.PL_FB, bits=8)
+        total = network_ro_bytes(spec224, policy)
+        assert 3.9 * MB < total < 4.3 * MB
+
+    def test_weight_bytes_224_int4_close_to_paper(self, spec224):
+        """Paper Table 2: PC+ICN INT4 footprint is ~2.12 MB."""
+        policy = QuantPolicy.uniform(spec224, method=QuantMethod.PC_ICN, bits=4)
+        total = network_ro_bytes(spec224, policy)
+        assert 2.0 * MB < total < 2.25 * MB
+
+    def test_thresholds_larger_than_icn(self, spec224):
+        p_icn = QuantPolicy.uniform(spec224, method=QuantMethod.PC_ICN, bits=4)
+        p_thr = QuantPolicy.uniform(spec224, method=QuantMethod.PC_THRESHOLDS, bits=4)
+        assert network_ro_bytes(spec224, p_thr) > network_ro_bytes(spec224, p_icn)
+
+    def test_rw_peak_location(self, spec224):
+        """The RW peak of MobileNetV1 224 is in the early high-resolution layers."""
+        policy = QuantPolicy.uniform(spec224, bits=8)
+        model = MemoryModel(spec224)
+        per_layer = model.rw_bytes_per_layer(policy)
+        assert per_layer.index(max(per_layer)) < 5
+
+    def test_rw_peak_halves_with_bits(self, spec224):
+        p8 = QuantPolicy.uniform(spec224, bits=8)
+        p4 = QuantPolicy.uniform(spec224, bits=4)
+        # Input stays at 8 bit, so the peak does not halve exactly but must shrink.
+        assert network_rw_peak_bytes(spec224, p4) < network_rw_peak_bytes(spec224, p8)
+
+    def test_fits_budget_checks_both_constraints(self, spec224):
+        model = MemoryModel(spec224)
+        policy = QuantPolicy.uniform(spec224, bits=8)
+        ro = model.ro_bytes(policy)
+        rw = model.rw_peak_bytes(policy)
+        assert model.fits(policy, ro, rw)
+        assert not model.fits(policy, ro - 1, rw)
+        assert not model.fits(policy, ro, rw - 1)
+
+    def test_report_structure(self, spec224):
+        model = MemoryModel(spec224)
+        policy = QuantPolicy.uniform(spec224, bits=8)
+        report = model.report(policy)
+        assert report.ro_bytes == model.ro_bytes(policy)
+        assert len(report.per_layer_ro) == len(spec224)
+        assert report.ro_mb > 0 and report.rw_kb > 0
+
+    def test_layer_count_mismatch_rejected(self, spec224):
+        policy = QuantPolicy.uniform(spec224, bits=8)
+        policy.layers.pop()
+        with pytest.raises(ValueError):
+            network_ro_bytes(spec224, policy)
+
+    def test_weight_bytes_scale_with_precision(self, spec224):
+        layer = spec224.layers[14]
+        assert layer_weight_bytes(layer, 4) * 2 == layer_weight_bytes(layer, 8)
+
+    def test_rw_bytes_sum_of_in_out(self, spec224):
+        layer = spec224.layers[3]
+        lp = QuantPolicy.uniform(spec224, bits=8)[3]
+        expected = tensor_bytes(layer.input_activation_count, 8) + tensor_bytes(
+            layer.output_activation_count, 8
+        )
+        assert layer_rw_bytes(layer, lp) == expected

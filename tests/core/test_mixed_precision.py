@@ -1,0 +1,242 @@
+"""Memory-driven mixed-precision search (Algorithms 1 and 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.memory_model import MemoryModel
+from repro.core.mixed_precision import (
+    MemoryInfeasibleError,
+    _cut_bits_rule,
+    cut_activation_bits,
+    cut_weight_bits,
+    search_mixed_precision,
+)
+from repro.core.policy import QuantMethod, QuantPolicy
+from repro.models.model_zoo import all_mobilenet_configs, mobilenet_v1_spec
+
+KB = 1024
+MB = 1024 * 1024
+
+
+class TestCutBitsRule:
+    def test_cuts_higher_precision_tensor(self):
+        assert _cut_bits_rule(mem_keep=100, q_keep=4, mem_cut=100, q_cut=8, q_min=2)
+
+    def test_cuts_equal_precision_larger_tensor(self):
+        assert _cut_bits_rule(mem_keep=100, q_keep=8, mem_cut=200, q_cut=8, q_min=2)
+
+    def test_never_cuts_below_minimum(self):
+        assert not _cut_bits_rule(mem_keep=100, q_keep=8, mem_cut=1000, q_cut=2, q_min=2)
+
+    def test_keeps_smaller_equal_precision_tensor(self):
+        assert not _cut_bits_rule(mem_keep=200, q_keep=8, mem_cut=100, q_cut=8, q_min=2)
+
+    def test_keeps_lower_precision_tensor(self):
+        assert not _cut_bits_rule(mem_keep=100, q_keep=8, mem_cut=200, q_cut=4, q_min=2)
+
+
+class TestCutActivationBits:
+    def test_no_cuts_when_budget_is_large(self):
+        spec = mobilenet_v1_spec(128, 0.25)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        cut_activation_bits(spec, policy, rw_budget=512 * KB)
+        assert all(lp.q_out == 8 for lp in policy.layers)
+
+    def test_constraint_satisfied_after_cuts(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        cut_activation_bits(spec, policy, rw_budget=512 * KB)
+        model = MemoryModel(spec)
+        assert model.rw_peak_bytes(policy) <= 512 * KB
+
+    def test_chain_consistency_preserved(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        cut_activation_bits(spec, policy, rw_budget=512 * KB)
+        policy.validate()
+
+    def test_input_precision_never_touched(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        cut_activation_bits(spec, policy, rw_budget=320 * KB)
+        assert policy[0].q_in == 8
+
+    def test_paper_anchor_224_075_early_cuts(self):
+        """The paper reports Q1y, Q2y = 4 for the most accurate 2 MB model
+        (224_0.75): the first depthwise/pointwise outputs must be cut."""
+        spec = mobilenet_v1_spec(224, 0.75)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        cut_activation_bits(spec, policy, rw_budget=512 * KB)
+        assert policy[1].q_out < 8
+        assert policy[2].q_out < 8
+        # Later layers with small activations are untouched.
+        assert policy[20].q_out == 8
+
+    def test_smaller_budget_cuts_more(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        p_large = QuantPolicy.uniform(spec, bits=8)
+        p_small = QuantPolicy.uniform(spec, bits=8)
+        cut_activation_bits(spec, p_large, rw_budget=512 * KB)
+        cut_activation_bits(spec, p_small, rw_budget=300 * KB)
+        assert sum(p_small.activation_bits()) < sum(p_large.activation_bits())
+
+    def test_infeasible_budget_raises(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        with pytest.raises(MemoryInfeasibleError):
+            cut_activation_bits(spec, policy, rw_budget=10 * KB)
+
+    def test_q_min_respected(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        cut_activation_bits(spec, policy, rw_budget=700 * KB, q_min=4)
+        assert min(policy.activation_bits()) >= 4
+        assert min(lp.q_out for lp in policy.layers) == 4  # some layer was cut
+
+    def test_invalid_q_min(self):
+        spec = mobilenet_v1_spec(128, 0.25)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        with pytest.raises(ValueError):
+            cut_activation_bits(spec, policy, rw_budget=1 * MB, q_min=3)
+
+
+class TestCutWeightBits:
+    def test_no_cuts_when_budget_is_large(self):
+        spec = mobilenet_v1_spec(128, 0.25)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        cut_weight_bits(spec, policy, ro_budget=2 * MB)
+        assert all(lp.q_w == 8 for lp in policy.layers)
+
+    def test_constraint_satisfied_after_cuts(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        cut_weight_bits(spec, policy, ro_budget=2 * MB)
+        assert MemoryModel(spec).ro_bytes(policy) <= 2 * MB
+
+    def test_cuts_target_heaviest_layers_first(self):
+        """The largest layers (last pointwise convolutions, classifier) are
+        the ones that lose precision (paper §6 / Figure 3)."""
+        spec = mobilenet_v1_spec(224, 0.75)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        cut_weight_bits(spec, policy, ro_budget=2 * MB)
+        cut_indices = [i for i, lp in enumerate(policy.layers) if lp.q_w < 8]
+        assert cut_indices, "some layer must have been cut"
+        # Every cut layer is among the heavier half of the network.
+        weights = [l.weight_count for l in spec.layers]
+        median = sorted(weights)[len(weights) // 2]
+        assert all(weights[i] >= median for i in cut_indices)
+
+    def test_small_first_layers_never_cut_at_2mb(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        cut_weight_bits(spec, policy, ro_budget=2 * MB)
+        assert policy[0].q_w == 8  # first conv has only 864 weights
+
+    def test_delta_margin_prefers_smaller_index(self):
+        """With a large delta the earliest of the near-maximal layers is cut."""
+        spec = mobilenet_v1_spec(224, 1.0)
+        p_small_delta = QuantPolicy.uniform(spec, bits=8)
+        p_large_delta = QuantPolicy.uniform(spec, bits=8)
+        cut_weight_bits(spec, p_small_delta, ro_budget=3 * MB, delta=0.0)
+        cut_weight_bits(spec, p_large_delta, ro_budget=3 * MB, delta=0.5)
+        first_cut_small = min(i for i, lp in enumerate(p_small_delta.layers) if lp.q_w < 8)
+        first_cut_large = min(i for i, lp in enumerate(p_large_delta.layers) if lp.q_w < 8)
+        assert first_cut_large <= first_cut_small
+
+    def test_infeasible_budget_raises(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        with pytest.raises(MemoryInfeasibleError):
+            cut_weight_bits(spec, policy, ro_budget=100 * KB)
+
+    def test_invalid_delta(self):
+        spec = mobilenet_v1_spec(128, 0.25)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        with pytest.raises(ValueError):
+            cut_weight_bits(spec, policy, ro_budget=1 * MB, delta=1.5)
+
+    def test_q_min_respected(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        cut_weight_bits(spec, policy, ro_budget=int(2.5 * MB), q_min=4)
+        assert min(policy.weight_bits()) >= 4
+        assert any(lp.q_w == 4 for lp in policy.layers)
+
+
+class TestSearchMixedPrecision:
+    def test_stm32h7_budgets_all_configs_feasible(self):
+        """Every MobileNetV1 configuration fits the STM32H7 (2 MB / 512 kB)."""
+        for spec in all_mobilenet_configs():
+            policy = search_mixed_precision(spec, 2 * MB, 512 * KB)
+            model = MemoryModel(spec)
+            assert policy.feasible
+            assert model.ro_bytes(policy) <= 2 * MB
+            assert model.rw_peak_bytes(policy) <= 512 * KB
+            policy.validate()
+
+    def test_small_models_have_no_cuts_at_2mb(self):
+        """Paper §6: width 0.25 and 0.5 configurations (except 224_0.5 on
+        the RO side) need no precision cuts under the 2 MB / 512 kB budget."""
+        for label in ["128_0.25", "160_0.5", "192_0.25"]:
+            res, wm = label.split("_")
+            spec = mobilenet_v1_spec(int(res), float(wm))
+            policy = search_mixed_precision(spec, 2 * MB, 512 * KB)
+            assert policy.is_uniform(8), f"{label} should be homogeneous 8 bit"
+
+    def test_large_models_need_cuts_at_2mb(self):
+        for label in ["224_1.0", "192_1.0", "224_0.75"]:
+            res, wm = label.split("_")
+            spec = mobilenet_v1_spec(int(res), float(wm))
+            policy = search_mixed_precision(spec, 2 * MB, 512 * KB)
+            assert not policy.is_uniform(8), f"{label} must have some cut"
+
+    def test_method_affects_ro_via_aux_params(self):
+        """Threshold tables grow as c_O * 2^Q: with 8-bit activations the
+        static parameters alone exceed the 2 MB budget for 224_1.0, which
+        is exactly why the paper's Table 1 flags the exponential growth."""
+        spec = mobilenet_v1_spec(224, 1.0)
+        pc = search_mixed_precision(spec, 2 * MB, 512 * KB, method=QuantMethod.PC_ICN)
+        thr = search_mixed_precision(
+            spec, 2 * MB, 512 * KB, method=QuantMethod.PC_THRESHOLDS, strict=False
+        )
+        assert pc.feasible
+        # Thresholds carry more static parameters, forcing deeper cuts (and
+        # here, outright infeasibility at Q_out = 8).
+        assert sum(thr.weight_bits()) <= sum(pc.weight_bits())
+        assert not thr.feasible
+
+    def test_strict_false_returns_best_effort(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        policy = search_mixed_precision(spec, 100 * KB, 10 * KB, strict=False)
+        assert not policy.feasible
+
+    def test_strict_true_raises(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        with pytest.raises(MemoryInfeasibleError):
+            search_mixed_precision(spec, 100 * KB, 10 * KB, strict=True)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        ro_mb=st.floats(min_value=1.2, max_value=8.0),
+        rw_kb=st.integers(min_value=330, max_value=2048),
+    )
+    def test_property_search_meets_budgets(self, ro_mb, rw_kb):
+        """For any feasible budget pair, the returned policy satisfies both
+        Eq. 6 and Eq. 7 and keeps the activation chain consistent."""
+        spec = mobilenet_v1_spec(224, 1.0)
+        ro = int(ro_mb * MB)
+        rw = rw_kb * KB
+        policy = search_mixed_precision(spec, ro, rw, strict=False)
+        if policy.feasible:
+            model = MemoryModel(spec)
+            assert model.ro_bytes(policy) <= ro
+            assert model.rw_peak_bytes(policy) <= rw
+            policy.validate()
+
+    @settings(max_examples=10, deadline=None)
+    @given(rw_kb=st.integers(min_value=330, max_value=1024))
+    def test_property_tighter_rw_budget_never_increases_bits(self, rw_kb):
+        spec = mobilenet_v1_spec(224, 1.0)
+        loose = search_mixed_precision(spec, 4 * MB, 1024 * KB, strict=False)
+        tight = search_mixed_precision(spec, 4 * MB, rw_kb * KB, strict=False)
+        assert sum(tight.activation_bits()) <= sum(loose.activation_bits())

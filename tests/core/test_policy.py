@@ -1,0 +1,97 @@
+"""Quantization policy container: construction, invariants, serialisation."""
+
+import pytest
+
+from repro.core.policy import LayerPolicy, QuantMethod, QuantPolicy
+from repro.models.model_zoo import mobilenet_v1_spec
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return mobilenet_v1_spec(192, 0.5)
+
+
+class TestQuantMethod:
+    def test_per_channel_flags(self):
+        assert QuantMethod.PC_ICN.per_channel
+        assert QuantMethod.PC_THRESHOLDS.per_channel
+        assert not QuantMethod.PL_ICN.per_channel
+        assert not QuantMethod.PL_FB.per_channel
+
+    def test_icn_flags(self):
+        assert QuantMethod.PL_ICN.uses_icn and QuantMethod.PC_ICN.uses_icn
+        assert not QuantMethod.PL_FB.uses_icn
+
+    def test_folding_flag(self):
+        assert QuantMethod.PL_FB.folds_batchnorm
+        assert not QuantMethod.PC_ICN.folds_batchnorm
+
+    def test_from_value(self):
+        assert QuantMethod("PC+ICN") is QuantMethod.PC_ICN
+
+
+class TestUniformPolicy:
+    def test_layer_count(self, spec):
+        policy = QuantPolicy.uniform(spec, bits=8)
+        assert len(policy) == len(spec)
+
+    def test_uniform_bits(self, spec):
+        policy = QuantPolicy.uniform(spec, bits=4)
+        assert set(policy.weight_bits()) == {4}
+        assert policy.is_uniform(4)
+        assert not policy.is_uniform(8)
+
+    def test_input_fixed_at_8(self, spec):
+        policy = QuantPolicy.uniform(spec, bits=4)
+        assert policy[0].q_in == 8
+
+    def test_chain_consistency(self, spec):
+        policy = QuantPolicy.uniform(spec, bits=8)
+        policy.validate()  # must not raise
+
+    def test_validate_rejects_broken_chain(self, spec):
+        policy = QuantPolicy.uniform(spec, bits=8)
+        policy[3].q_in = 4  # breaks q_out[2] == q_in[3]
+        with pytest.raises(ValueError):
+            policy.validate()
+
+    def test_validate_rejects_bad_bits(self, spec):
+        policy = QuantPolicy.uniform(spec, bits=8)
+        policy[5].q_w = 3
+        with pytest.raises(ValueError):
+            policy.validate()
+
+    def test_link_activations_repairs_chain(self, spec):
+        policy = QuantPolicy.uniform(spec, bits=8)
+        policy[4].q_out = 4
+        policy.link_activations()
+        assert policy[5].q_in == 4
+        policy.validate()
+
+
+class TestSerialisation:
+    def test_dict_roundtrip(self, spec):
+        policy = QuantPolicy.uniform(spec, method=QuantMethod.PL_ICN, bits=4)
+        policy[2].q_w = 2
+        restored = QuantPolicy.from_dict(policy.to_dict())
+        assert restored.method is QuantMethod.PL_ICN
+        assert restored.weight_bits() == policy.weight_bits()
+        assert restored.network == policy.network
+
+    def test_json_roundtrip(self, spec):
+        policy = QuantPolicy.uniform(spec, bits=8)
+        policy.notes = "test"
+        restored = QuantPolicy.from_json(policy.to_json())
+        assert restored.notes == "test"
+        assert restored.activation_bits() == policy.activation_bits()
+
+    def test_summary_mentions_every_layer(self, spec):
+        policy = QuantPolicy.uniform(spec, bits=8)
+        text = policy.summary()
+        for layer in spec.layers:
+            assert layer.name in text
+
+    def test_layer_policy_as_dict(self):
+        lp = LayerPolicy(index=3, name="block1_pw", q_w=4, q_in=8, q_out=4)
+        d = lp.as_dict()
+        assert d == {"index": 3, "name": "block1_pw", "q_w": 4, "q_in": 8, "q_out": 4}

@@ -1,0 +1,112 @@
+"""Weight-range estimators (min/max, percentile, MSE, KL)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.range_estimators import (
+    RANGE_ESTIMATORS,
+    kl_divergence_range,
+    minmax_range,
+    mse_range,
+    per_channel_ranges,
+    percentile_range,
+    quantization_snr_db,
+)
+
+
+@pytest.fixture
+def heavy_tailed(rng):
+    """A weight-like tensor with a few large outliers."""
+    w = rng.normal(0, 0.1, size=4096)
+    w[:8] = rng.choice([-3.0, 3.0], size=8)
+    return w
+
+
+class TestMinMax:
+    def test_exact_range(self, rng):
+        t = rng.normal(size=100)
+        a, b = minmax_range(t, 8)
+        assert a == t.min() and b == t.max()
+
+
+class TestPercentile:
+    def test_tighter_than_minmax_on_outliers(self, heavy_tailed):
+        a_mm, b_mm = minmax_range(heavy_tailed, 4)
+        a_pc, b_pc = percentile_range(heavy_tailed, 4, percentile=99.0)
+        assert a_pc >= a_mm and b_pc <= b_mm
+        assert b_pc < b_mm  # the outliers are actually clipped
+
+    def test_invalid_percentile(self, rng):
+        with pytest.raises(ValueError):
+            percentile_range(rng.normal(size=10), 8, percentile=40.0)
+
+    def test_constant_tensor_falls_back(self):
+        a, b = percentile_range(np.full(64, 2.0), 8)
+        assert a == b == 2.0
+
+
+class TestMSE:
+    def test_improves_snr_on_heavy_tails_at_low_bits(self, heavy_tailed):
+        snr_mm = quantization_snr_db(heavy_tailed, 2, minmax_range)
+        snr_mse = quantization_snr_db(heavy_tailed, 2, mse_range)
+        assert snr_mse >= snr_mm
+
+    def test_range_never_wider_than_minmax(self, heavy_tailed):
+        a_mm, b_mm = minmax_range(heavy_tailed, 4)
+        a, b = mse_range(heavy_tailed, 4)
+        assert a >= a_mm and b <= b_mm
+
+    def test_constant_tensor(self):
+        assert mse_range(np.zeros(16), 4) == (0.0, 0.0)
+
+
+class TestKL:
+    def test_symmetric_range(self, heavy_tailed):
+        a, b = kl_divergence_range(heavy_tailed, 8)
+        assert a == -b and b > 0
+
+    def test_threshold_not_larger_than_max(self, heavy_tailed):
+        _, b = kl_divergence_range(heavy_tailed, 8)
+        assert b <= np.abs(heavy_tailed).max() + 1e-12
+
+    def test_zero_tensor(self):
+        assert kl_divergence_range(np.zeros(100), 8) == (0.0, 0.0)
+
+    def test_clips_outliers_at_low_bits(self, heavy_tailed):
+        _, b = kl_divergence_range(heavy_tailed, 4)
+        assert b < np.abs(heavy_tailed).max()
+
+
+class TestPerChannel:
+    def test_shapes(self, rng):
+        w = rng.normal(size=(8, 4, 3, 3))
+        lo, hi = per_channel_ranges(w, 4, minmax_range)
+        assert lo.shape == (8,) and hi.shape == (8,)
+        assert np.all(hi >= lo)
+
+    def test_matches_manual_per_channel_minmax(self, rng):
+        w = rng.normal(size=(6, 2, 3, 3))
+        lo, hi = per_channel_ranges(w, 8, minmax_range)
+        assert np.allclose(lo, w.reshape(6, -1).min(axis=1))
+        assert np.allclose(hi, w.reshape(6, -1).max(axis=1))
+
+    def test_estimator_registry_complete(self):
+        assert set(RANGE_ESTIMATORS) == {"minmax", "percentile", "mse", "kl"}
+
+
+class TestSNR:
+    def test_snr_increases_with_bits(self, rng):
+        t = rng.normal(size=2048)
+        snrs = [quantization_snr_db(t, bits, minmax_range) for bits in (2, 4, 8)]
+        assert snrs[0] < snrs[1] < snrs[2]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), bits=st.sampled_from([2, 4, 8]))
+    def test_property_all_estimators_produce_valid_ranges(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        t = rng.normal(0, rng.uniform(0.01, 2.0), size=256)
+        for name, estimator in RANGE_ESTIMATORS.items():
+            a, b = estimator(t, bits)
+            assert b >= a, f"{name} produced an inverted range"
+            assert np.isfinite(a) and np.isfinite(b)

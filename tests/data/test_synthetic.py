@@ -1,0 +1,88 @@
+"""Synthetic dataset and calibration helpers."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data import (
+    SyntheticImageDataset,
+    calibration_batches,
+    collect_activation_ranges,
+    make_synthetic_classification,
+)
+
+
+class TestSyntheticDataset:
+    def test_shapes_and_ranges(self):
+        ds = make_synthetic_classification(num_classes=4, resolution=12,
+                                           train_per_class=10, test_per_class=5)
+        assert ds.x_train.shape == (40, 3, 12, 12)
+        assert ds.x_test.shape == (20, 3, 12, 12)
+        assert ds.x_train.min() >= 0.0 and ds.x_train.max() <= 1.0
+        assert set(np.unique(ds.y_train)) == set(range(4))
+
+    def test_deterministic_given_seed(self):
+        a = make_synthetic_classification(seed=7, train_per_class=5, test_per_class=2)
+        b = make_synthetic_classification(seed=7, train_per_class=5, test_per_class=2)
+        assert np.array_equal(a.x_train, b.x_train)
+        assert np.array_equal(a.y_test, b.y_test)
+
+    def test_different_seeds_differ(self):
+        a = make_synthetic_classification(seed=1, train_per_class=5, test_per_class=2)
+        b = make_synthetic_classification(seed=2, train_per_class=5, test_per_class=2)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_properties(self):
+        ds = make_synthetic_classification(num_classes=3, resolution=8, channels=1,
+                                           train_per_class=4, test_per_class=2)
+        assert ds.resolution == 8 and ds.channels == 1 and ds.num_classes == 3
+
+    def test_batches_cover_dataset(self, rng):
+        ds = make_synthetic_classification(num_classes=3, train_per_class=10, test_per_class=2)
+        seen = 0
+        for xb, yb in ds.batches(batch_size=8, rng=rng, train=True):
+            assert len(xb) == len(yb) <= 8
+            seen += len(xb)
+        assert seen == 30
+
+    def test_noise_controls_difficulty(self):
+        """Higher noise produces larger within-class spread (harder task)."""
+        clean = make_synthetic_classification(num_classes=4, noise=0.02, seed=3,
+                                              train_per_class=20, test_per_class=10)
+        noisy = make_synthetic_classification(num_classes=4, noise=0.9, seed=3,
+                                              train_per_class=20, test_per_class=10)
+
+        def within_class_variance(ds):
+            total = 0.0
+            for k in range(ds.num_classes):
+                xs = ds.x_train[ds.y_train == k]
+                total += float(((xs - xs.mean(axis=0)) ** 2).mean())
+            return total / ds.num_classes
+
+        assert within_class_variance(noisy) > 3 * within_class_variance(clean)
+
+    def test_at_least_two_classes_required(self):
+        with pytest.raises(ValueError):
+            make_synthetic_classification(num_classes=1)
+
+
+class TestCalibration:
+    def test_calibration_batches_limit(self):
+        x = np.zeros((100, 3, 8, 8))
+        batches = list(calibration_batches(x, batch_size=16, max_batches=3))
+        assert len(batches) == 3
+        assert all(len(b) == 16 for b in batches)
+
+    def test_collect_activation_ranges(self, small_dataset):
+        model = repro.build_tiny_mobilenet(resolution=16, width=8, num_classes=5)
+        stats = collect_activation_ranges(model, small_dataset.x_train[:32], batch_size=16)
+        assert len(stats) == len(model.conv_blocks())
+        for s in stats:
+            assert s["min"] <= s["percentile"] <= s["max"] + 1e-9
+            assert np.isfinite(s["percentile"])
+
+    def test_collect_restores_training_mode(self, small_dataset):
+        model = repro.build_tiny_mobilenet(resolution=16, width=8, num_classes=5)
+        model.train()
+        collect_activation_ranges(model, small_dataset.x_train[:16])
+        assert model.training

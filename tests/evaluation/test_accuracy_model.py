@@ -1,0 +1,108 @@
+"""Accuracy surrogate: calibration against Table 2 and qualitative shape."""
+
+import pytest
+
+from repro.core.mixed_precision import search_mixed_precision
+from repro.core.policy import QuantMethod, QuantPolicy
+from repro.evaluation.accuracy_model import (
+    CHANCE_TOP1,
+    FP_TOP1_ACCURACY,
+    AccuracyModel,
+    QuantSensitivity,
+)
+from repro.models.model_zoo import all_mobilenet_configs, mobilenet_v1_spec
+
+MB = 1024 * 1024
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AccuracyModel()
+
+
+@pytest.fixture(scope="module")
+def spec224():
+    return mobilenet_v1_spec(224, 1.0)
+
+
+class TestBaselines:
+    def test_all_16_configs_have_baselines(self, model):
+        for spec in all_mobilenet_configs():
+            assert model.full_precision_top1(spec) > 40.0
+
+    def test_fp_accuracy_monotone_in_width(self, model):
+        for res in (128, 160, 192, 224):
+            accs = [FP_TOP1_ACCURACY[(res, wm)] for wm in (0.25, 0.5, 0.75, 1.0)]
+            assert accs == sorted(accs)
+
+    def test_fp_accuracy_monotone_in_resolution(self, model):
+        for wm in (0.25, 0.5, 0.75, 1.0):
+            accs = [FP_TOP1_ACCURACY[(res, wm)] for res in (128, 160, 192, 224)]
+            assert accs == sorted(accs)
+
+    def test_unknown_config_rejected(self, model):
+        with pytest.raises(KeyError):
+            model.full_precision_top1(mobilenet_v1_spec(256, 1.0))
+
+
+class TestTable2Calibration:
+    """The surrogate must land near the paper's Table 2 anchor points."""
+
+    def test_int8_near_lossless(self, model, spec224):
+        top1 = model.predict_uniform(spec224, QuantMethod.PL_FB, 8)
+        assert abs(top1 - 70.1) < 1.5
+
+    def test_pl_fb_int4_collapses(self, model, spec224):
+        top1 = model.predict_uniform(spec224, QuantMethod.PL_FB, 4)
+        assert top1 == pytest.approx(CHANCE_TOP1)
+
+    def test_pl_icn_int4_recovers_training(self, model, spec224):
+        """ICN avoids the folding collapse: Table 2 reports 61.75 %."""
+        top1 = model.predict_uniform(spec224, QuantMethod.PL_ICN, 4)
+        assert 57.0 < top1 < 65.0
+
+    def test_pc_icn_int4_better_than_pl(self, model, spec224):
+        pc = model.predict_uniform(spec224, QuantMethod.PC_ICN, 4)
+        pl = model.predict_uniform(spec224, QuantMethod.PL_ICN, 4)
+        assert pc > pl + 2.0
+        assert 63.0 < pc < 69.0  # paper: 66.41
+
+    def test_thresholds_match_icn_accuracy(self, model, spec224):
+        """Thresholds are numerically equivalent to ICN (paper: 66.46 vs 66.41)."""
+        thr = model.predict_uniform(spec224, QuantMethod.PC_THRESHOLDS, 4)
+        icn = model.predict_uniform(spec224, QuantMethod.PC_ICN, 4)
+        assert thr == pytest.approx(icn)
+
+
+class TestPolicySensitivity:
+    def test_more_aggressive_policy_loses_more(self, model, spec224):
+        p8 = QuantPolicy.uniform(spec224, method=QuantMethod.PC_ICN, bits=8)
+        p4 = QuantPolicy.uniform(spec224, method=QuantMethod.PC_ICN, bits=4)
+        p2 = QuantPolicy.uniform(spec224, method=QuantMethod.PC_ICN, bits=2)
+        a8, a4, a2 = (model.predict_top1(spec224, p) for p in (p8, p4, p2))
+        assert a8 > a4 > a2
+
+    def test_accuracy_never_below_chance(self, model, spec224):
+        p2 = QuantPolicy.uniform(spec224, method=QuantMethod.PL_ICN, bits=2)
+        assert model.predict_top1(spec224, p2) >= CHANCE_TOP1
+
+    def test_mixed_policy_between_uniform_extremes(self, model, spec224):
+        mixed = search_mixed_precision(spec224, 2 * MB, 512 * KB, method=QuantMethod.PC_ICN)
+        a_mixed = model.predict_top1(spec224, mixed)
+        a8 = model.predict_uniform(spec224, QuantMethod.PC_ICN, 8)
+        a2 = model.predict_uniform(spec224, QuantMethod.PC_ICN, 2)
+        assert a2 < a_mixed < a8
+
+    def test_pc_beats_pl_for_every_2mb_config(self, model):
+        """Table 4: MixQ-PC-ICN is at least as accurate as MixQ-PL everywhere."""
+        for spec in all_mobilenet_configs():
+            pl = search_mixed_precision(spec, 2 * MB, 512 * KB, method=QuantMethod.PL_ICN)
+            pc = search_mixed_precision(spec, 2 * MB, 512 * KB, method=QuantMethod.PC_ICN)
+            assert model.predict_top1(spec, pc) >= model.predict_top1(spec, pl) - 1e-9
+
+    def test_custom_sensitivity(self, spec224):
+        harsh = AccuracyModel(QuantSensitivity(weight_penalty={8: 0.1, 4: 2.0, 2: 10.0}))
+        default = AccuracyModel()
+        p4 = QuantPolicy.uniform(spec224, method=QuantMethod.PC_ICN, bits=4)
+        assert harsh.predict_top1(spec224, p4) < default.predict_top1(spec224, p4)

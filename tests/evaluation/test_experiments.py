@@ -1,0 +1,134 @@
+"""Experiment entry points: structure and qualitative agreement with the
+paper's tables/figures (the benches print the full comparisons)."""
+
+import pytest
+
+from repro.core.policy import QuantMethod
+from repro.evaluation import experiments, paper_data
+from repro.mcu.device import MB, KB, STM32H7
+
+
+class TestTable1Experiment:
+    def test_all_methods_present(self):
+        result = experiments.table1()
+        assert set(result["rows"].keys()) == {m.value for m in QuantMethod}
+
+    def test_counts_match_paper_structure(self):
+        result = experiments.table1()
+        pc = result["rows"]["PC+ICN"]["counts"]
+        pl_fb = result["rows"]["PL+FB"]["counts"]
+        thr = result["rows"]["PC+Thr"]["counts"]
+        assert pc["Zw"] > 1 and pl_fb["Zw"] == 1
+        assert thr["Thr"] > 0 and pc["Thr"] == 0
+
+    def test_extra_bytes_ranking(self):
+        result = experiments.table1()
+        order = ["PL+FB", "PL+ICN", "PC+ICN", "PC+Thr"]
+        sizes = [result["rows"][m]["layer_extra_bytes"] for m in order]
+        assert sizes == sorted(sizes)
+
+
+class TestTable2Experiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.label: r for r in experiments.table2()}
+
+    def test_row_labels(self, rows):
+        for label in paper_data.TABLE2:
+            assert label in rows
+
+    def test_footprints_match_paper_within_15_percent(self, rows):
+        for label, ref in paper_data.TABLE2.items():
+            if label == "PC+Thresholds INT4":
+                continue  # threshold dtype differs; checked separately
+            assert rows[label].weight_mb == pytest.approx(ref["weight_mb"], rel=0.15)
+
+    def test_thresholds_footprint_larger_than_icn(self, rows):
+        assert rows["PC+Thresholds INT4"].weight_mb > rows["PC+ICN INT4"].weight_mb
+
+    def test_accuracy_ordering_matches_paper(self, rows):
+        """FP > INT8 > PC+ICN INT4 > PL+ICN INT4 >> PL+FB INT4 (collapse)."""
+        assert rows["Full-precision"].top1 > rows["PL+FB INT8"].top1
+        assert rows["PL+FB INT8"].top1 > rows["PC+ICN INT4"].top1
+        assert rows["PC+ICN INT4"].top1 > rows["PL+ICN INT4"].top1
+        assert rows["PL+ICN INT4"].top1 > rows["PL+FB INT4"].top1 + 40
+
+
+class TestFigure2Experiment:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return experiments.figure2()
+
+    def test_32_points(self, fig):
+        assert len(fig["points"]) == 32  # 16 configs x 2 methods
+
+    def test_all_points_feasible_on_stm32h7(self, fig):
+        assert all(p.feasible for p in fig["points"])
+        assert all(p.ro_bytes <= 2 * MB and p.rw_peak_bytes <= 512 * KB for p in fig["points"])
+
+    def test_pc_icn_dominates_accuracy(self, fig):
+        by_label = {}
+        for p in fig["points"]:
+            by_label.setdefault(p.label, {})[p.method] = p
+        for label, d in by_label.items():
+            assert d["MixQ-PC-ICN"].top1 >= d["MixQ-PL"].top1 - 1e-9
+            assert d["MixQ-PC-ICN"].cycles >= d["MixQ-PL"].cycles
+
+    def test_pareto_high_accuracy_end_is_pc(self, fig):
+        """Paper §6: the accurate end of the Pareto frontier is populated by
+        MixQ-PC-ICN configurations (the surrogate gives PC a smaller edge at
+        8 bit than the paper measured, so the low-latency end remains PL;
+        see EXPERIMENTS.md)."""
+        pareto = fig["pareto"]
+        assert len(pareto) >= 3
+        assert any(p.method == "MixQ-PC-ICN" for p in pareto)
+        most_accurate = max(pareto, key=lambda p: p.top1)
+        assert most_accurate.method == "MixQ-PC-ICN"
+        # Within the top-accuracy third of the frontier, PC dominates.
+        top_third = sorted(pareto, key=lambda p: -p.top1)[: max(len(pareto) // 3, 1)]
+        pc_share = sum(1 for p in top_third if p.method == "MixQ-PC-ICN") / len(top_third)
+        assert pc_share >= 0.5
+
+    def test_fastest_point_is_smallest_config(self, fig):
+        fastest = min(fig["points"], key=lambda p: p.cycles)
+        assert fastest.label == "128_0.25"
+        assert 6.0 < fastest.fps < 15.0  # paper: ~10 fps
+
+    def test_headline_accuracy_gap_over_int8(self, fig):
+        """Paper: the best mixed-precision model is ~8 % above the best
+        INT8 model that fits the same 2 MB device."""
+        best_mixed = max(p.top1 for p in fig["points"] if p.method == "MixQ-PC-ICN")
+        int8_points = [p for p in fig["points"] if p.policy.is_uniform(8)]
+        best_int8 = max(p.top1 for p in int8_points)
+        assert best_mixed - best_int8 > 3.0
+
+
+class TestTable3Experiment:
+    def test_rows_and_feasibility(self):
+        rows = experiments.table3()
+        assert len(rows) == 4
+        mixed = [r for r in rows if r.method == "MixQ-PC-ICN"]
+        assert all(r.feasible for r in mixed)
+        assert all(r.ro_mb <= 1.0 + 1e-6 for r in mixed)
+
+    def test_mixed_precision_beats_int8_that_fits_1mb(self):
+        rows = {f"{r.label} {r.method}": r for r in experiments.table3()}
+        ours = rows["MobilenetV1_224_0.5 MixQ-PC-ICN"].top1
+        int8_smaller = rows["MobilenetV1_224_0.25 INT8 PL+FB [11]"].top1
+        assert ours > int8_smaller + 5.0
+
+
+class TestFigure3Table4Experiments:
+    def test_figure3_covers_all_configs(self):
+        result = experiments.figure3()
+        assert len(result) == 16
+        for label, per_method in result.items():
+            assert set(per_method) == {"MixQ-PL", "MixQ-PC-ICN"}
+            for policy in per_method.values():
+                policy.validate()
+
+    def test_table4_structure_and_ordering(self):
+        result = experiments.table4()
+        assert set(result.keys()) == set(paper_data.TABLE4.keys())
+        for label, (pl, pc) in result.items():
+            assert pc >= pl - 1e-9

@@ -1,0 +1,62 @@
+"""Sanity checks on the transcribed paper reference data: the benches
+compare against these values, so internal consistency matters."""
+
+from repro.evaluation import paper_data
+from repro.evaluation.accuracy_model import FP_TOP1_ACCURACY
+from repro.models.model_zoo import all_mobilenet_configs
+
+
+class TestTable2Data:
+    def test_all_strategies_present(self):
+        assert set(paper_data.TABLE2) == {
+            "Full-precision", "PL+FB INT8", "PL+FB INT4", "PL+ICN INT4",
+            "PC+ICN INT4", "PC+Thresholds INT4",
+        }
+
+    def test_footprints_decrease_with_precision(self):
+        t = paper_data.TABLE2
+        assert t["Full-precision"]["weight_mb"] > t["PL+FB INT8"]["weight_mb"]
+        assert t["PL+FB INT8"]["weight_mb"] > t["PC+ICN INT4"]["weight_mb"]
+
+    def test_icn_recovers_the_collapse(self):
+        t = paper_data.TABLE2
+        assert t["PL+FB INT4"]["top1"] < 1.0
+        assert t["PL+ICN INT4"]["top1"] > 60.0
+        assert t["PC+ICN INT4"]["top1"] > t["PL+ICN INT4"]["top1"]
+
+
+class TestTable4Data:
+    def test_covers_all_16_configs(self):
+        labels = {spec.label for spec in all_mobilenet_configs()}
+        assert set(paper_data.TABLE4) == labels
+
+    def test_pc_icn_never_worse_than_pl(self):
+        for pl, pc in paper_data.TABLE4.values():
+            assert pc >= pl
+
+    def test_headline_matches_best_table4_entry(self):
+        best = max(pc for _, pc in paper_data.TABLE4.values())
+        assert abs(best - paper_data.HEADLINE["best_top1"]) < 0.1
+
+    def test_mixed_precision_never_exceeds_fp_by_much(self):
+        """The quantized accuracies stay within ~4 points of the published
+        full-precision baselines (the paper's QAT occasionally lands a
+        few points above the TF-slim checkpoints it starts from)."""
+        for label, (pl, pc) in paper_data.TABLE4.items():
+            res, wm = label.split("_")
+            fp = FP_TOP1_ACCURACY[(int(res), float(wm))]
+            assert pc <= fp + 4.0
+
+
+class TestFigure2Anchors:
+    def test_anchor_fields(self):
+        a = paper_data.FIGURE2_ANCHORS
+        assert a["fastest_config"] == "128_0.25"
+        assert a["most_accurate_config"] == "224_0.75"
+        assert a["pc_overhead_factor"] > 1.0
+        assert a["slowdown_most_accurate"] > 10.0
+
+    def test_table3_entries(self):
+        assert len(paper_data.TABLE3) == 4
+        for entry in paper_data.TABLE3.values():
+            assert 40.0 < entry["top1"] < 75.0

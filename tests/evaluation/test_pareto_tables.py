@@ -1,0 +1,50 @@
+"""Pareto frontier utilities and the text table renderer."""
+
+from repro.evaluation.pareto import ParetoPoint, pareto_frontier
+from repro.evaluation.tables import render_table
+
+
+class TestPareto:
+    def test_dominance(self):
+        a = ParetoPoint("a", latency_cycles=100, top1=60)
+        b = ParetoPoint("b", latency_cycles=200, top1=50)
+        c = ParetoPoint("c", latency_cycles=100, top1=60)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(c)  # equal points do not dominate each other
+
+    def test_frontier_removes_dominated(self):
+        pts = [
+            ParetoPoint("fast-bad", 10, 40),
+            ParetoPoint("slow-good", 100, 70),
+            ParetoPoint("dominated", 120, 65),
+            ParetoPoint("mid", 50, 60),
+        ]
+        frontier = pareto_frontier(pts)
+        labels = [p.label for p in frontier]
+        assert "dominated" not in labels
+        assert labels == ["fast-bad", "mid", "slow-good"]
+
+    def test_frontier_sorted_by_latency(self):
+        pts = [ParetoPoint(str(i), 100 - i, 10 + i) for i in range(5)]
+        frontier = pareto_frontier(pts)
+        lats = [p.latency_cycles for p in frontier]
+        assert lats == sorted(lats)
+
+    def test_single_point(self):
+        pts = [ParetoPoint("only", 1, 1)]
+        assert pareto_frontier(pts) == pts
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        text = render_table(["name", "top1"], [["a", 61.234], ["bb", 7]], title="T")
+        assert "T" in text and "name" in text and "61.23" in text and "bb" in text
+
+    def test_alignment_consistent(self):
+        text = render_table(["col"], [["x"], ["longer-value"]])
+        lines = text.splitlines()
+        assert len(set(len(l) for l in lines[1:])) <= 2  # header+sep+rows aligned

@@ -1,0 +1,104 @@
+"""Integer network executor and deployment export."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.graph_convert import convert_to_integer_network
+from repro.core.memory_model import MemoryModel
+from repro.core.policy import QuantMethod, QuantPolicy
+from repro.inference.engine import IntegerAvgPool, IntegerNetwork
+from repro.inference.export import deployment_size_bytes, export_network
+from repro.inference.packing import packed_size_bytes
+
+
+@pytest.fixture(scope="module")
+def integer_net(qat_pc_icn_model):
+    return convert_to_integer_network(
+        qat_pc_icn_model, method=QuantMethod.PC_ICN, input_scale=1.0 / 255.0
+    )
+
+
+class TestIntegerNetwork:
+    def test_quantize_input_range(self, integer_net, rng):
+        x = rng.uniform(0, 1, size=(2, 3, 16, 16))
+        codes = integer_net.quantize_input(x)
+        assert codes.min() >= 0 and codes.max() <= 255
+
+    def test_forward_produces_logits(self, integer_net, small_dataset):
+        logits = integer_net.forward(small_dataset.x_test[:4])
+        assert logits.shape == (4, small_dataset.num_classes)
+        assert np.isfinite(logits).all()
+
+    def test_predict_labels_in_range(self, integer_net, small_dataset):
+        preds = integer_net.predict(small_dataset.x_test[:8])
+        assert preds.shape == (8,)
+        assert preds.min() >= 0 and preds.max() < small_dataset.num_classes
+
+    def test_intermediate_codes_within_bits(self, integer_net, small_dataset):
+        codes = integer_net.quantize_input(small_dataset.x_test[:2])
+        for layer in integer_net.conv_layers:
+            codes = layer.forward(codes)
+            assert codes.min() >= 0
+            assert codes.max() <= 2 ** layer.out_bits - 1
+
+    def test_pool_reduces_spatial_dims(self, integer_net, small_dataset):
+        codes = integer_net.quantize_input(small_dataset.x_test[:2])
+        codes = integer_net.forward_codes(codes)
+        pooled = IntegerAvgPool().forward(codes)
+        assert pooled.ndim == 2
+
+    def test_weight_storage_accounts_for_packing(self, integer_net):
+        total = integer_net.weight_storage_bytes()
+        expected = sum(
+            packed_size_bytes(int(l.params.weights_q.size), l.params.w_bits)
+            for l in integer_net.conv_layers
+        ) + packed_size_bytes(
+            int(integer_net.classifier.weights_q.size), integer_net.classifier.w_bits
+        )
+        assert total == expected
+
+    def test_empty_network_forward_is_identity_codes(self, rng):
+        net = IntegerNetwork(conv_layers=[], pool=None, classifier=None)
+        x = rng.uniform(0, 1, size=(1, 3, 4, 4))
+        out = net.forward(x)
+        assert out.shape == (1, 3, 4, 4)
+
+
+class TestExport:
+    def test_export_structure(self, integer_net):
+        exported = export_network(integer_net)
+        assert len(exported["conv_layers"]) == len(integer_net.conv_layers)
+        assert "classifier" in exported and "input" in exported
+        for entry in exported["conv_layers"]:
+            assert entry["weight_bytes"] == packed_size_bytes(
+                int(np.prod(entry["weight_shape"])), entry["w_bits"]
+            )
+            assert entry["strategy"] == "ICNParams"
+
+    def test_deployment_size_breakdown(self, integer_net):
+        sizes = deployment_size_bytes(integer_net)
+        assert sizes["total"] == sizes["weights"] + sizes["aux_params"]
+        assert sizes["weights"] > 0 and sizes["aux_params"] > 0
+
+    def test_deployment_size_close_to_memory_model(self, qat_pc_icn_model, integer_net):
+        """The exported Flash size matches the analytical Table-1 model for
+        the convolutional trunk (the memory model counts the classifier's
+        Table-1 parameters slightly differently from the float bias the
+        export ships, so compare within a small tolerance)."""
+        spec = qat_pc_icn_model.spec
+        policy = QuantPolicy.uniform(spec, method=QuantMethod.PC_ICN, bits=8)
+        analytic = MemoryModel(spec).ro_bytes(policy)
+        exported = deployment_size_bytes(integer_net)["total"]
+        assert abs(exported - analytic) / analytic < 0.1
+
+    def test_packed_weights_roundtrip(self, integer_net):
+        exported = export_network(integer_net)
+        from repro.inference.packing import unpack_subbyte
+
+        entry = exported["conv_layers"][0]
+        layer = integer_net.conv_layers[0]
+        back = unpack_subbyte(
+            entry["weights_packed"], entry["w_bits"], int(np.prod(entry["weight_shape"]))
+        ).reshape(entry["weight_shape"])
+        assert np.array_equal(back, layer.params.weights_q)

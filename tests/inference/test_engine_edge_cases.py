@@ -1,0 +1,93 @@
+"""Additional edge-case coverage for the integer engine and requantization."""
+
+import numpy as np
+import pytest
+
+from repro.core.icn import (
+    ICNParams,
+    icn_requantize,
+    quantize_multiplier,
+)
+from repro.inference.engine import IntegerConvLayer
+from repro.inference.kernels import int_conv2d
+
+
+def _identity_icn(c_out, out_bits=8, w_bits=8, m=1.0 / 256, per_channel=True):
+    m0, n0 = quantize_multiplier(np.full(c_out, m))
+    return ICNParams(
+        weights_q=np.ones((c_out, 1, 1, 1), dtype=np.int64),
+        z_w=np.zeros(c_out, dtype=np.int64),
+        z_x=0,
+        z_y=0,
+        bq=np.zeros(c_out, dtype=np.int64),
+        m0=m0,
+        n0=n0,
+        out_bits=out_bits,
+        w_bits=w_bits,
+        per_channel=per_channel,
+    )
+
+
+class TestRequantizeEdgeCases:
+    def test_negative_accumulators_clamp_to_zero(self):
+        params = _identity_icn(2)
+        phi = np.array([[[[-1000]], [[-5]]]], dtype=np.int64)
+        out = icn_requantize(phi, params)
+        assert np.all(out == 0)
+
+    def test_saturating_accumulators_clamp_to_max(self):
+        params = _identity_icn(1, out_bits=4)
+        phi = np.array([[[[10 ** 7]]]], dtype=np.int64)
+        assert icn_requantize(phi, params).max() == 15
+
+    def test_zero_multiplier_channel_outputs_zero_point(self):
+        params = _identity_icn(1)
+        params.m0[:] = 0
+        phi = np.array([[[[12345]]]], dtype=np.int64)
+        assert np.all(icn_requantize(phi, params) == params.z_y)
+
+    def test_exact_scaling_matches_float(self, rng):
+        """For random multipliers the fixed-point path matches the float
+        floor within one unit (the Q31 mantissa rounding)."""
+        c = 8
+        m_real = rng.uniform(1e-4, 1e-1, size=c)
+        m0, n0 = quantize_multiplier(m_real)
+        params = _identity_icn(c)
+        params.m0[:] = m0
+        params.n0[:] = n0
+        phi = rng.integers(-10000, 10000, size=(1, c, 3, 3))
+        out = icn_requantize(phi, params)
+        ref = np.clip(np.floor(m_real.reshape(1, -1, 1, 1) * phi), 0, 255)
+        assert np.abs(out - ref).max() <= 1
+
+
+class TestIntegerConvLayerEdgeCases:
+    def test_pointwise_kind_uses_standard_kernel(self, rng):
+        c_in, c_out = 3, 4
+        params = ICNParams(
+            weights_q=rng.integers(0, 256, size=(c_out, c_in, 1, 1)),
+            z_w=rng.integers(0, 256, size=c_out),
+            z_x=0, z_y=0,
+            bq=np.zeros(c_out, dtype=np.int64),
+            m0=np.full(c_out, 2 ** 30, dtype=np.int64),
+            n0=np.full(c_out, -10, dtype=np.int64),
+            out_bits=8, w_bits=8, per_channel=True,
+        )
+        layer = IntegerConvLayer(
+            name="pw", kind="pw", stride=1, padding=0, params=params,
+            in_bits=8, out_bits=8, in_scale=1.0, out_scale=1.0,
+        )
+        x = rng.integers(0, 256, size=(1, c_in, 5, 5))
+        out = layer.forward(x)
+        assert out.shape == (1, c_out, 5, 5)
+        # Cross-check against the raw kernel + requantize path.
+        phi = int_conv2d(x, params.weights_q, 0, params.z_w, 1, 0)
+        assert np.array_equal(out, icn_requantize(phi, params))
+
+    def test_unsupported_params_type_rejected(self, rng):
+        layer = IntegerConvLayer(
+            name="bad", kind="conv", stride=1, padding=0, params=object(),
+            in_bits=8, out_bits=8, in_scale=1.0, out_scale=1.0,
+        )
+        with pytest.raises(Exception):
+            layer.forward(rng.integers(0, 2, size=(1, 1, 3, 3)))

@@ -1,0 +1,39 @@
+"""QuantizedTensor container behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.inference.int_tensor import QuantizedTensor
+
+
+class TestQuantizedTensor:
+    def test_dequantize(self):
+        qt = QuantizedTensor(np.array([0, 5, 10]), scale=0.5, zero_point=2, bits=8)
+        assert np.allclose(qt.dequantize(), [-1.0, 1.5, 4.0])
+
+    def test_rejects_out_of_range_codes(self):
+        with pytest.raises(ValueError):
+            QuantizedTensor(np.array([16]), scale=1.0, zero_point=0, bits=4)
+        with pytest.raises(ValueError):
+            QuantizedTensor(np.array([-1]), scale=1.0, zero_point=0, bits=4)
+
+    def test_from_real_floor(self):
+        qt = QuantizedTensor.from_real(np.array([0.49, 0.51]), scale=0.5, zero_point=0,
+                                       bits=8, rounding="floor")
+        assert list(qt.data) == [0, 1]
+
+    def test_from_real_clamps_to_grid(self):
+        qt = QuantizedTensor.from_real(np.array([-5.0, 100.0]), scale=1.0, zero_point=0, bits=4)
+        assert list(qt.data) == [0, 15]
+
+    def test_roundtrip_through_packed_bytes(self, rng):
+        data = rng.integers(0, 16, size=(2, 3, 4, 4))
+        qt = QuantizedTensor(data, scale=0.1, zero_point=3, bits=4)
+        packed = qt.packed_bytes()
+        restored = QuantizedTensor.from_packed(packed, data.shape, 0.1, 3, 4)
+        assert np.array_equal(restored.data, data)
+        assert qt.storage_bytes() == packed.size
+
+    def test_shape_property(self, rng):
+        qt = QuantizedTensor(rng.integers(0, 4, size=(2, 5)), 1.0, 0, 2)
+        assert qt.shape == (2, 5)

@@ -1,0 +1,149 @@
+"""Integer kernels: equivalence with the float convolution they emulate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.inference.kernels import (
+    int_avg_pool_global,
+    int_conv2d,
+    int_depthwise_conv2d,
+    int_linear,
+)
+from repro.nn.functional import conv2d_forward, depthwise_conv2d_forward
+
+
+def _random_codes(rng, shape, bits):
+    return rng.integers(0, 2 ** bits, size=shape)
+
+
+class TestIntConv2d:
+    @pytest.mark.parametrize("x_bits,w_bits", [(8, 8), (8, 4), (4, 2), (2, 2)])
+    def test_matches_float_conv_of_shifted_operands(self, rng, x_bits, w_bits):
+        """Phi equals the float convolution of (X - Zx) with (W - Zw)."""
+        x = _random_codes(rng, (2, 3, 6, 6), x_bits)
+        w = _random_codes(rng, (4, 3, 3, 3), w_bits)
+        z_x, z_w = 2, 1
+        phi = int_conv2d(x, w, z_x, z_w, stride=1, padding=1, x_bits=x_bits, w_bits=w_bits)
+        ref, _ = conv2d_forward((x - z_x).astype(float), (w - z_w).astype(float), None, 1, 1)
+        assert np.array_equal(phi, np.round(ref).astype(np.int64))
+
+    def test_per_channel_zero_points(self, rng):
+        x = _random_codes(rng, (1, 3, 5, 5), 8)
+        w = _random_codes(rng, (4, 3, 3, 3), 4)
+        z_w = rng.integers(0, 16, size=4)
+        phi = int_conv2d(x, w, 0, z_w, stride=1, padding=0, w_bits=4)
+        ref, _ = conv2d_forward(
+            x.astype(float), (w - z_w.reshape(-1, 1, 1, 1)).astype(float), None, 1, 0
+        )
+        assert np.array_equal(phi, np.round(ref).astype(np.int64))
+
+    def test_padding_represents_real_zero(self, rng):
+        """Zero padding must contribute the code Z_x, i.e. real value 0."""
+        x = np.full((1, 1, 3, 3), 5, dtype=np.int64)
+        w = np.ones((1, 1, 3, 3), dtype=np.int64)
+        z_x = 5
+        phi = int_conv2d(x, w, z_x, 0, stride=1, padding=1)
+        # All (X - Zx) are zero, so every output must be exactly zero.
+        assert np.all(phi == 0)
+
+    def test_stride(self, rng):
+        x = _random_codes(rng, (1, 2, 8, 8), 8)
+        w = _random_codes(rng, (3, 2, 3, 3), 8)
+        phi = int_conv2d(x, w, 0, 0, stride=2, padding=1)
+        assert phi.shape == (1, 3, 4, 4)
+
+    def test_out_of_range_codes_rejected(self, rng):
+        x = np.full((1, 1, 3, 3), 300, dtype=np.int64)
+        w = np.zeros((1, 1, 3, 3), dtype=np.int64)
+        with pytest.raises(ValueError):
+            int_conv2d(x, w, 0, 0, x_bits=8)
+
+    def test_per_channel_zw_wrong_length_rejected(self, rng):
+        x = _random_codes(rng, (1, 3, 5, 5), 8)
+        w = _random_codes(rng, (4, 3, 3, 3), 8)
+        with pytest.raises(ValueError):
+            int_conv2d(x, w, 0, np.array([1, 2]))
+
+    def test_accumulator_is_integer_dtype(self, rng):
+        phi = int_conv2d(
+            _random_codes(rng, (1, 2, 4, 4), 8), _random_codes(rng, (2, 2, 3, 3), 8), 0, 0,
+            padding=1,
+        )
+        assert phi.dtype == np.int64
+
+
+class TestIntDepthwiseConv2d:
+    @pytest.mark.parametrize("w_bits", [8, 4, 2])
+    def test_matches_float_depthwise(self, rng, w_bits):
+        x = _random_codes(rng, (2, 4, 6, 6), 8)
+        w = _random_codes(rng, (4, 1, 3, 3), w_bits)
+        z_x, z_w = 3, 1
+        phi = int_depthwise_conv2d(x, w, z_x, z_w, stride=1, padding=1, w_bits=w_bits)
+        ref, _ = depthwise_conv2d_forward(
+            (x - z_x).astype(float), (w - z_w).astype(float), None, 1, 1
+        )
+        assert np.array_equal(phi, np.round(ref).astype(np.int64))
+
+    def test_per_channel_zero_points(self, rng):
+        x = _random_codes(rng, (1, 3, 5, 5), 8)
+        w = _random_codes(rng, (3, 1, 3, 3), 4)
+        z_w = rng.integers(0, 16, size=3)
+        phi = int_depthwise_conv2d(x, w, 0, z_w, padding=1, w_bits=4)
+        ref, _ = depthwise_conv2d_forward(
+            x.astype(float), (w - z_w.reshape(-1, 1, 1, 1)).astype(float), None, 1, 1
+        )
+        assert np.array_equal(phi, np.round(ref).astype(np.int64))
+
+    def test_stride_two(self, rng):
+        x = _random_codes(rng, (1, 4, 8, 8), 8)
+        w = _random_codes(rng, (4, 1, 3, 3), 8)
+        assert int_depthwise_conv2d(x, w, 0, 0, stride=2, padding=1).shape == (1, 4, 4, 4)
+
+
+class TestIntLinear:
+    def test_matches_float_matmul(self, rng):
+        x = _random_codes(rng, (3, 10), 8)
+        w = _random_codes(rng, (5, 10), 4)
+        z_x, z_w = 1, 7
+        phi = int_linear(x, w, z_x, z_w, w_bits=4)
+        ref = (x - z_x) @ (w - z_w).T
+        assert np.array_equal(phi, ref)
+
+    def test_per_channel_zero_points(self, rng):
+        x = _random_codes(rng, (2, 6), 8)
+        w = _random_codes(rng, (4, 6), 8)
+        z_w = rng.integers(0, 255, size=4)
+        phi = int_linear(x, w, 0, z_w)
+        ref = x @ (w - z_w.reshape(-1, 1)).T
+        assert np.array_equal(phi, ref)
+
+
+class TestIntAvgPool:
+    def test_floor_division(self):
+        x = np.arange(16).reshape(1, 1, 4, 4)
+        out = int_avg_pool_global(x)
+        assert out.shape == (1, 1)
+        assert out[0, 0] == 7  # mean 7.5 floored
+
+    def test_matches_float_mean_up_to_one(self, rng):
+        x = rng.integers(0, 256, size=(2, 8, 7, 7))
+        out = int_avg_pool_global(x)
+        assert np.all(np.abs(out - x.mean(axis=(2, 3))) < 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    z_x=st.integers(0, 200),
+    z_w=st.integers(0, 200),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_property_zero_point_shift_invariance(z_x, z_w, seed):
+    """Shifting codes and zero points together leaves Phi unchanged —
+    the integer kernel depends only on (X - Zx) and (W - Zw)."""
+    rng = np.random.default_rng(seed)
+    x_base = rng.integers(0, 32, size=(1, 2, 4, 4))
+    w_base = rng.integers(0, 32, size=(3, 2, 3, 3))
+    phi_a = int_conv2d(x_base, w_base, 0, 0, padding=1)
+    phi_b = int_conv2d(x_base + z_x, w_base + z_w, z_x, z_w, padding=1)
+    assert np.array_equal(phi_a, phi_b)

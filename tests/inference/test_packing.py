@@ -1,0 +1,83 @@
+"""Sub-byte packing: layout, sizes and exhaustive round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.inference.packing import pack_subbyte, packed_size_bytes, unpack_subbyte
+
+
+class TestPackedSize:
+    def test_exact_sizes(self):
+        assert packed_size_bytes(8, 8) == 8
+        assert packed_size_bytes(8, 4) == 4
+        assert packed_size_bytes(8, 2) == 2
+
+    def test_rounding_up(self):
+        assert packed_size_bytes(3, 4) == 2
+        assert packed_size_bytes(5, 2) == 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            packed_size_bytes(4, 3)
+        with pytest.raises(ValueError):
+            packed_size_bytes(-1, 4)
+
+
+class TestPackUnpack:
+    def test_known_4bit_layout(self):
+        packed = pack_subbyte(np.array([0x1, 0x2, 0x3]), 4)
+        # little-end first within a byte: 0x21, then 0x03 (padded)
+        assert list(packed) == [0x21, 0x03]
+
+    def test_known_2bit_layout(self):
+        packed = pack_subbyte(np.array([1, 2, 3, 0, 1]), 2)
+        assert list(packed) == [0b00111001, 0b00000001]
+
+    def test_8bit_is_identity(self, rng):
+        v = rng.integers(0, 256, size=10)
+        assert np.array_equal(pack_subbyte(v, 8), v.astype(np.uint8))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_subbyte(np.array([16]), 4)
+        with pytest.raises(ValueError):
+            pack_subbyte(np.array([-1]), 2)
+
+    def test_unpack_needs_enough_bytes(self):
+        with pytest.raises(ValueError):
+            unpack_subbyte(np.array([0x12], dtype=np.uint8), 4, 3)
+
+    def test_multidimensional_input_flattens(self, rng):
+        v = rng.integers(0, 16, size=(3, 5))
+        packed = pack_subbyte(v, 4)
+        back = unpack_subbyte(packed, 4, v.size).reshape(v.shape)
+        assert np.array_equal(back, v)
+
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_roundtrip(self, rng, bits):
+        v = rng.integers(0, 2 ** bits, size=1001)
+        back = unpack_subbyte(pack_subbyte(v, bits), bits, v.size)
+        assert np.array_equal(back, v)
+
+    @pytest.mark.parametrize("bits", [2, 4])
+    def test_storage_ratio(self, rng, bits):
+        v = rng.integers(0, 2 ** bits, size=4096)
+        assert pack_subbyte(v, bits).size == 4096 * bits // 8
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    data=st.data(),
+    bits=st.sampled_from([2, 4, 8]),
+    n=st.integers(min_value=0, max_value=257),
+)
+def test_property_pack_unpack_roundtrip(data, bits, n):
+    values = data.draw(
+        st.lists(st.integers(0, 2 ** bits - 1), min_size=n, max_size=n)
+    )
+    arr = np.array(values, dtype=np.int64)
+    packed = pack_subbyte(arr, bits)
+    assert packed.size == packed_size_bytes(n, bits)
+    back = unpack_subbyte(packed, bits, n)
+    assert np.array_equal(back, arr)

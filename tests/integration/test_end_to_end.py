@@ -1,0 +1,168 @@
+"""End-to-end integration tests reproducing the paper's qualitative claims
+at small scale: the full pipeline pretrain -> memory-driven search -> QAT ->
+ICN conversion -> bit-accurate integer inference -> MCU deployment report."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.graph_convert import convert_to_integer_network
+from repro.core.memory_model import MemoryModel
+from repro.core.mixed_precision import search_mixed_precision
+from repro.core.policy import QuantMethod, QuantPolicy
+from repro.inference.export import deployment_size_bytes
+from repro.mcu.deploy import deploy
+from repro.mcu.device import STM32H7
+from repro.training import QATConfig, QATTrainer, TrainConfig, Trainer, evaluate_model, prepare_qat
+
+
+class TestFullPipelineSmallScale:
+    """QAT -> conversion -> integer inference, measured (not surrogate)."""
+
+    def test_icn_integer_accuracy_close_to_fake_quant(self, qat_pc_icn_model, small_dataset):
+        fq_acc = evaluate_model(qat_pc_icn_model, small_dataset)
+        net = convert_to_integer_network(qat_pc_icn_model, method=QuantMethod.PC_ICN)
+        int_acc = float((net.predict(small_dataset.x_test) == small_dataset.y_test).mean())
+        assert fq_acc > 0.8
+        assert abs(fq_acc - int_acc) <= 0.05
+
+    def test_4bit_pipeline_preserves_accuracy(self, qat_pc_icn_4bit_model, small_dataset):
+        fq_acc = evaluate_model(qat_pc_icn_4bit_model, small_dataset)
+        net = convert_to_integer_network(qat_pc_icn_4bit_model, method=QuantMethod.PC_ICN)
+        int_acc = float((net.predict(small_dataset.x_test) == small_dataset.y_test).mean())
+        assert int_acc >= fq_acc - 0.08
+
+    def test_layerwise_code_agreement(self, qat_pc_icn_model, small_dataset):
+        """First-layer output codes agree with the fake-quantized graph for
+        >= 98 % of positions with a max deviation of one code."""
+        net = convert_to_integer_network(qat_pc_icn_model, method=QuantMethod.PC_ICN)
+        x = small_dataset.x_test[:4]
+        codes_int = net.conv_layers[0].forward(net.quantize_input(x))
+        block = list(qat_pc_icn_model.features)[0]
+        x_deq = np.floor(x / net.input_scale) * net.input_scale
+        y_fq = block(x_deq)
+        codes_fq = np.round(y_fq / block.act_quant.scale).astype(np.int64)
+        diff = np.abs(codes_fq - codes_int)
+        assert diff.max() <= 1
+        assert (diff == 0).mean() > 0.98
+
+
+class TestPLFBCollapseVsICN:
+    """Table 2's qualitative story, measured with real (small-scale) QAT:
+    folding batch-norm before 4-bit per-layer quantization destroys the
+    network, while the ICN formulation trains fine."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self, small_dataset):
+        return small_dataset
+
+    def _train_variant(self, dataset, method: QuantMethod, bits: int) -> float:
+        model = repro.build_tiny_mobilenet(resolution=16, width=8, num_classes=5, seed=0)
+        Trainer(model, TrainConfig(epochs=4, batch_size=32, lr=3e-3, seed=0)).fit(dataset)
+        policy = QuantPolicy.uniform(model.spec, method=method, bits=bits)
+        prepare_qat(model, policy, calibration_data=dataset.x_train[:64])
+        QATTrainer(
+            model,
+            QATConfig(epochs=3, batch_size=32, lr=1e-3, lr_schedule={2: 5e-4},
+                      enable_folding_after_epoch=0),
+        ).fit(dataset)
+        model.eval()
+        net = convert_to_integer_network(model, method=method)
+        return float((net.predict(dataset.x_test) == dataset.y_test).mean())
+
+    def test_folding_inflates_per_layer_quantization_error(self, dataset):
+        """The mechanism behind the PL+FB INT4 collapse (Table 2): folding a
+        heterogeneous batch-norm scale into the weights inflates the
+        per-layer quantization range, so a 4-bit per-layer quantizer
+        destroys the small-scale channels; the unfolded per-channel (ICN)
+        path keeps the relative error orders of magnitude lower."""
+        import numpy as np
+
+        from repro import nn
+        from repro.core.fake_quant import WeightFakeQuant
+        from repro.models.mobilenet_v1 import ConvBNBlock
+
+        rng = np.random.default_rng(0)
+        conv = nn.Conv2d(8, 16, 3, padding=1, bias=False, rng=rng)
+        block = ConvBNBlock(conv, 16)
+        # Heterogeneous channel scales, as produced by training on real data.
+        gammas = np.logspace(-2, 1, 16)
+        block.bn.gamma.data[...] = gammas
+        block.bn._buffers["running_var"][...] = rng.uniform(0.25, 4.0, size=16)
+        scale, _ = block.bn.channel_scale_shift()
+
+        w = conv.weight.data
+        w_folded = w * scale.reshape(-1, 1, 1, 1)
+        fq_folded = WeightFakeQuant(bits=4, scheme="minmax_pl").fake_quantize(w_folded)
+        fq_pc = WeightFakeQuant(bits=4, scheme="minmax_pc").fake_quantize(w)
+
+        # Per-channel relative error in the folded domain (what the layer's
+        # output actually sees).  A relative error near 1 means the channel
+        # has been flattened to (almost) nothing by the quantizer.
+        def per_channel_rel_error(fq, ref):
+            err = ((fq - ref) ** 2).mean(axis=(1, 2, 3))
+            energy = (ref ** 2).mean(axis=(1, 2, 3))
+            return err / energy
+
+        rel_folded = per_channel_rel_error(fq_folded, w_folded)
+        rel_pc = per_channel_rel_error(fq_pc * scale.reshape(-1, 1, 1, 1), w_folded)
+        # The small-gamma channels are destroyed by the per-layer folded
+        # quantizer but preserved by the per-channel one.
+        assert rel_folded.max() > 0.5
+        assert rel_pc.max() < 0.05
+        assert np.median(rel_folded) > 10 * np.median(rel_pc)
+
+    def test_very_low_precision_degrades_both_variants(self, dataset):
+        """At 2 bits even the per-channel pipeline loses most accuracy on the
+        small task — aggressive quantization is not free (paper §6 notes the
+        width-1.0 configurations lose 2-15 % under forced aggressive cuts)."""
+        acc_icn_2bit = self._train_variant(dataset, QuantMethod.PC_ICN, bits=2)
+        acc_icn_4bit = self._train_variant(dataset, QuantMethod.PC_ICN, bits=4)
+        assert acc_icn_4bit > acc_icn_2bit + 0.3
+
+    def test_pc_at_least_as_good_as_pl_at_4bit(self, dataset):
+        acc_pl = self._train_variant(dataset, QuantMethod.PL_ICN, bits=4)
+        acc_pc = self._train_variant(dataset, QuantMethod.PC_ICN, bits=4)
+        assert acc_pc >= acc_pl - 0.05
+
+
+class TestDeploymentPipeline:
+    def test_policy_driven_qat_then_deploy(self, small_dataset):
+        """Run the whole flow with a memory-driven policy on the tiny model
+        and check the exported size agrees with the analytical model used
+        by the search."""
+        model = repro.build_tiny_mobilenet(resolution=16, width=8, num_classes=5, seed=0)
+        Trainer(model, TrainConfig(epochs=3, batch_size=32, lr=3e-3)).fit(small_dataset)
+        spec = model.spec
+        # A budget tight enough to force 4-bit cuts on the tiny network.
+        memory = MemoryModel(spec)
+        full8 = memory.ro_bytes(QuantPolicy.uniform(spec, method=QuantMethod.PC_ICN, bits=8))
+        policy = search_mixed_precision(
+            spec, ro_budget=int(full8 * 0.7), rw_budget=64 * 1024, method=QuantMethod.PC_ICN
+        )
+        assert any(lp.q_w < 8 for lp in policy.layers)
+
+        prepare_qat(model, policy, calibration_data=small_dataset.x_train[:32])
+        QATTrainer(model, QATConfig(epochs=2, batch_size=32, lr=1e-3)).fit(small_dataset)
+        model.eval()
+        net = convert_to_integer_network(model, method=QuantMethod.PC_ICN)
+        exported = deployment_size_bytes(net)
+        assert exported["total"] <= int(full8 * 0.7) * 1.05
+        acc = float((net.predict(small_dataset.x_test) == small_dataset.y_test).mean())
+        assert acc > 0.5
+
+    def test_paper_headline_deployment_report(self):
+        """Full-size MobileNetV1 policies on the STM32H7: the report of the
+        paper's headline configuration fits the device and the surrogate
+        accuracy is ~8 % above the best uniform-INT8 model that fits."""
+        acc_model = repro.AccuracyModel()
+        best_mixed, best_int8 = 0.0, 0.0
+        for spec in repro.all_mobilenet_configs():
+            report = deploy(spec, STM32H7, method=QuantMethod.PC_ICN)
+            if report.fits:
+                best_mixed = max(best_mixed, acc_model.predict_top1(spec, report.policy))
+            int8 = QuantPolicy.uniform(spec, method=QuantMethod.PL_FB, bits=8)
+            if MemoryModel(spec).fits(int8, STM32H7.flash_bytes, STM32H7.ram_bytes):
+                best_int8 = max(best_int8, acc_model.predict_top1(spec, int8))
+        assert best_mixed > 64.0      # paper: 68 %
+        assert best_mixed - best_int8 > 3.0  # paper: 8 %

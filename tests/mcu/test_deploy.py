@@ -1,0 +1,69 @@
+"""Deployment reporting: memory fit, latency and the end-to-end deploy()."""
+
+import pytest
+
+import repro
+from repro.core.policy import QuantMethod, QuantPolicy
+from repro.mcu.deploy import check_fit, deploy
+from repro.mcu.device import KB, MB, STM32H7, STM32L4
+from repro.models.model_zoo import mobilenet_v1_spec
+
+
+class TestCheckFit:
+    def test_small_model_fits_stm32h7(self):
+        spec = mobilenet_v1_spec(128, 0.25)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        assert check_fit(spec, policy, STM32H7)
+
+    def test_large_model_does_not_fit_at_8bit(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        assert not check_fit(spec, policy, STM32H7)
+
+    def test_large_model_does_not_fit_tiny_device(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        policy = QuantPolicy.uniform(spec, bits=2)
+        assert not check_fit(spec, policy, STM32L4)
+
+
+class TestDeploy:
+    def test_deploy_runs_search_when_no_policy_given(self):
+        report = deploy(mobilenet_v1_spec(224, 0.75), STM32H7)
+        assert report.fits
+        assert report.ro_bytes <= STM32H7.flash_bytes
+        assert report.rw_peak_bytes <= STM32H7.ram_bytes
+        assert not report.policy.is_uniform(8)
+
+    def test_deploy_respects_supplied_policy(self):
+        spec = mobilenet_v1_spec(128, 0.25)
+        policy = QuantPolicy.uniform(spec, method=QuantMethod.PL_ICN, bits=8)
+        report = deploy(spec, STM32H7, policy=policy)
+        assert report.method is QuantMethod.PL_ICN
+        assert report.policy is policy
+
+    def test_latency_and_fps_consistent(self):
+        report = deploy(mobilenet_v1_spec(128, 0.25), STM32H7)
+        assert report.fps == pytest.approx(1000.0 / report.latency_ms, rel=1e-6)
+        assert report.total_cycles > 0
+
+    def test_headline_configuration(self):
+        """The paper's headline deployment: an accurate MobileNetV1 on a
+        2 MB / 512 kB device with per-channel ICN quantization."""
+        report = deploy(mobilenet_v1_spec(224, 0.75), STM32H7, method=QuantMethod.PC_ICN)
+        assert report.fits
+        assert report.ro_bytes / MB <= 2.0
+
+    def test_summary_text(self):
+        report = deploy(mobilenet_v1_spec(128, 0.25), STM32H7)
+        text = report.summary()
+        assert "STM32H743" in text and "fps" in text and "MB" in text
+
+    def test_infeasible_deployment_reported(self):
+        report = deploy(mobilenet_v1_spec(224, 1.0), STM32L4, strict=False)
+        assert not report.fits
+
+    def test_table3_budget_override(self):
+        device = STM32H7.with_budgets(flash_bytes=1 * MB)
+        report = deploy(mobilenet_v1_spec(224, 0.5), device)
+        assert report.fits
+        assert report.ro_bytes <= 1 * MB

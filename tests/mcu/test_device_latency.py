@@ -1,0 +1,132 @@
+"""Device presets and the CMSIS-NN-style latency model."""
+
+import pytest
+
+from repro.core.policy import QuantMethod, QuantPolicy
+from repro.mcu.device import KB, MB, MCUDevice, STM32F7, STM32H7, STM32L4
+from repro.mcu.latency import (
+    CMSISNNCostModel,
+    DEFAULT_COST_MODEL,
+    LatencyBreakdown,
+    layer_cycles,
+    network_cycles,
+)
+from repro.models.model_zoo import mobilenet_v1_spec
+
+
+class TestDevice:
+    def test_stm32h7_matches_paper(self):
+        assert STM32H7.flash_bytes == 2 * MB
+        assert STM32H7.ram_bytes == 512 * KB
+        assert STM32H7.clock_hz == 400_000_000
+
+    def test_unit_conversions(self):
+        assert STM32H7.flash_mb == 2.0
+        assert STM32H7.ram_kb == 512.0
+        assert STM32H7.cycles_to_seconds(400_000_000) == 1.0
+        assert STM32H7.cycles_to_fps(40_000_000) == 10.0
+
+    def test_with_budgets_override(self):
+        dev = STM32H7.with_budgets(flash_bytes=1 * MB)
+        assert dev.flash_bytes == 1 * MB
+        assert dev.ram_bytes == STM32H7.ram_bytes
+        assert dev.clock_hz == STM32H7.clock_hz
+
+    def test_presets_distinct(self):
+        assert STM32F7.flash_bytes < STM32H7.flash_bytes
+        assert STM32L4.clock_hz < STM32F7.clock_hz
+
+
+class TestLayerCycles:
+    def setup_method(self):
+        self.spec = mobilenet_v1_spec(224, 1.0)
+
+    def test_more_macs_cost_more(self):
+        small = self.spec.layers[1]   # early depthwise
+        big = self.spec.layers[24]    # late pointwise
+        assert big.macs > small.macs / 10  # sanity on the spec itself
+        c_small = layer_cycles(small, 8, 8, 8)
+        c_big = layer_cycles(self.spec.layers[2], 8, 8, 8)
+        assert c_big > c_small
+
+    def test_sub_byte_weights_cost_more_per_mac(self):
+        layer = self.spec.layers[14]
+        assert layer_cycles(layer, 4, 8, 8) > layer_cycles(layer, 8, 8, 8)
+        assert layer_cycles(layer, 2, 8, 8) > layer_cycles(layer, 4, 8, 8)
+
+    def test_per_channel_overhead_about_20_percent(self):
+        layer = self.spec.layers[14]
+        pl = layer_cycles(layer, 8, 8, 8, method=QuantMethod.PL_ICN)
+        pc = layer_cycles(layer, 8, 8, 8, method=QuantMethod.PC_ICN)
+        assert 1.1 < pc / pl < 1.3
+
+    def test_threshold_requant_cost_grows_with_bits(self):
+        layer = self.spec.layers[14]
+        c4 = layer_cycles(layer, 8, 8, 4, method=QuantMethod.PC_THRESHOLDS)
+        c8 = layer_cycles(layer, 8, 8, 8, method=QuantMethod.PC_THRESHOLDS)
+        assert c8 > c4
+
+    def test_unknown_kind_rejected(self):
+        layer = self.spec.layers[0]
+        bad = layer.__class__(**{**layer.__dict__, "kind": "transformer"})
+        with pytest.raises(ValueError):
+            layer_cycles(bad, 8, 8, 8)
+
+
+class TestNetworkCycles:
+    def test_paper_anchor_fastest_config_about_10_fps(self):
+        """Paper §6: 128_0.25 with homogeneous 8 bit runs at ~10 fps at 400 MHz."""
+        spec = mobilenet_v1_spec(128, 0.25)
+        policy = QuantPolicy.uniform(spec, method=QuantMethod.PL_ICN, bits=8)
+        breakdown = network_cycles(spec, policy)
+        fps = STM32H7.cycles_to_fps(breakdown.total_cycles)
+        assert 6.0 < fps < 15.0
+
+    def test_paper_anchor_most_accurate_about_20x_slower(self):
+        """Paper §6: 224_0.75 PC+ICN is roughly 20x slower than 128_0.25."""
+        fast_spec = mobilenet_v1_spec(128, 0.25)
+        slow_spec = mobilenet_v1_spec(224, 0.75)
+        fast = network_cycles(fast_spec, QuantPolicy.uniform(fast_spec, QuantMethod.PL_ICN, 8))
+        slow = network_cycles(slow_spec, QuantPolicy.uniform(slow_spec, QuantMethod.PC_ICN, 8))
+        ratio = slow.total_cycles / fast.total_cycles
+        assert 15.0 < ratio < 35.0
+
+    def test_pc_network_slower_than_pl(self):
+        spec = mobilenet_v1_spec(192, 0.5)
+        pl = network_cycles(spec, QuantPolicy.uniform(spec, QuantMethod.PL_ICN, 8))
+        pc = network_cycles(spec, QuantPolicy.uniform(spec, QuantMethod.PC_ICN, 8))
+        assert 1.1 < pc.total_cycles / pl.total_cycles < 1.3
+
+    def test_latency_monotone_in_resolution(self):
+        cycles = []
+        for res in (128, 160, 192, 224):
+            spec = mobilenet_v1_spec(res, 0.5)
+            cycles.append(network_cycles(spec, QuantPolicy.uniform(spec, bits=8)).total_cycles)
+        assert cycles == sorted(cycles)
+
+    def test_breakdown_structure(self):
+        spec = mobilenet_v1_spec(128, 0.25)
+        breakdown = network_cycles(spec, QuantPolicy.uniform(spec, bits=8))
+        assert isinstance(breakdown, LatencyBreakdown)
+        assert len(breakdown.per_layer_cycles) == len(spec)
+        assert breakdown.total_cycles == pytest.approx(sum(breakdown.per_layer_cycles))
+        top = breakdown.top_layers(3)
+        assert len(top) == 3 and top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_layer_count_mismatch_rejected(self):
+        spec = mobilenet_v1_spec(128, 0.25)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        policy.layers.pop()
+        with pytest.raises(ValueError):
+            network_cycles(spec, policy)
+
+    def test_custom_cost_model(self):
+        spec = mobilenet_v1_spec(128, 0.25)
+        policy = QuantPolicy.uniform(spec, bits=8)
+        slow_model = CMSISNNCostModel(
+            cycles_per_mac={"conv": 10.0, "pw": 10.0, "dw": 10.0, "fc": 10.0}
+        )
+        assert (
+            network_cycles(spec, policy, slow_model).total_cycles
+            > network_cycles(spec, policy, DEFAULT_COST_MODEL).total_cycles
+        )

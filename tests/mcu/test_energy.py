@@ -1,0 +1,82 @@
+"""Energy model for duty-cycled smart-sensor deployments."""
+
+import pytest
+
+from repro.core.policy import QuantPolicy
+from repro.mcu.device import STM32H7, STM32L4
+from repro.mcu.energy import (
+    EnergyReport,
+    PowerProfile,
+    STM32H7_POWER,
+    STM32L4_POWER,
+    duty_cycle_report,
+    energy_per_inference_mj,
+)
+from repro.mcu.latency import network_cycles
+from repro.models.model_zoo import mobilenet_v1_spec
+
+
+class TestPowerProfile:
+    def test_presets(self):
+        assert STM32L4_POWER.active_mw < STM32H7_POWER.active_mw
+        assert STM32L4_POWER.sleep_uw < STM32H7_POWER.sleep_uw
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            PowerProfile(active_mw=0.0)
+        with pytest.raises(ValueError):
+            PowerProfile(sleep_uw=-1.0)
+
+
+class TestEnergyPerInference:
+    def test_scales_with_cycles(self):
+        e1 = energy_per_inference_mj(40e6)
+        e2 = energy_per_inference_mj(80e6)
+        assert e2 > e1
+
+    def test_wakeup_overhead_included(self):
+        no_overhead = PowerProfile(active_mw=60.0, sleep_uw=30.0, wakeup_overhead_ms=0.0)
+        assert energy_per_inference_mj(40e6, power=no_overhead) < energy_per_inference_mj(40e6)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            energy_per_inference_mj(-1)
+
+    def test_realistic_magnitude(self):
+        """~40 Mcycles at 400 MHz and 60 mW is a handful of millijoules."""
+        e = energy_per_inference_mj(40e6, STM32H7, STM32H7_POWER)
+        assert 1.0 < e < 20.0
+
+
+class TestDutyCycleReport:
+    def test_report_fields(self):
+        report = duty_cycle_report(40e6, inferences_per_hour=60)
+        assert isinstance(report, EnergyReport)
+        assert report.latency_ms == pytest.approx(100.0)
+        assert report.average_power_mw > 0
+        assert report.battery_life_days > 0
+        assert "mJ" in report.summary()
+
+    def test_rarer_inferences_extend_battery_life(self):
+        frequent = duty_cycle_report(40e6, inferences_per_hour=3600)
+        rare = duty_cycle_report(40e6, inferences_per_hour=6)
+        assert rare.battery_life_days > frequent.battery_life_days
+
+    def test_sleep_power_floor(self):
+        """With extremely rare inferences the average power approaches the
+        sleep power."""
+        report = duty_cycle_report(40e6, inferences_per_hour=0.01)
+        assert report.average_power_mw < 0.1
+
+    def test_low_power_device_wins(self):
+        spec = mobilenet_v1_spec(128, 0.25)
+        cycles = network_cycles(spec, QuantPolicy.uniform(spec, bits=8)).total_cycles
+        h7 = duty_cycle_report(cycles, 60, STM32H7, STM32H7_POWER)
+        l4 = duty_cycle_report(cycles, 60, STM32L4, STM32L4_POWER)
+        assert l4.average_power_mw < h7.average_power_mw
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            duty_cycle_report(1e6, inferences_per_hour=0)
+        with pytest.raises(ValueError):
+            duty_cycle_report(1e6, inferences_per_hour=1, battery_mwh=0)

@@ -1,0 +1,100 @@
+"""Architecture specs: layer shapes, MAC/parameter counts of the family."""
+
+import pytest
+
+from repro.models.model_zoo import (
+    MOBILENET_RESOLUTIONS,
+    MOBILENET_WIDTH_MULTIPLIERS,
+    all_mobilenet_configs,
+    mobilenet_v1_spec,
+)
+
+
+class TestMobileNetSpec:
+    def test_layer_count(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        # 1 full conv + 13 (dw + pw) + 1 fc = 28 quantized layers.
+        assert len(spec) == 28
+
+    def test_label(self):
+        assert mobilenet_v1_spec(192, 0.5).label == "192_0.5"
+        assert mobilenet_v1_spec(224, 1.0).label == "224_1.0"
+        assert mobilenet_v1_spec(224, 0.25).label == "224_0.25"
+
+    def test_parameter_count_224_1_0(self):
+        """MobileNetV1 1.0 has ~4.2 M parameters (conv + fc weights)."""
+        spec = mobilenet_v1_spec(224, 1.0)
+        assert 4.0e6 < spec.total_weights < 4.4e6
+
+    def test_mac_count_224_1_0(self):
+        """~569 M multiply-accumulates for 224x224 width 1.0."""
+        spec = mobilenet_v1_spec(224, 1.0)
+        assert 540e6 < spec.total_macs < 600e6
+
+    def test_mac_count_scales_with_resolution(self):
+        base = mobilenet_v1_spec(224, 1.0).total_macs
+        small = mobilenet_v1_spec(128, 1.0).total_macs
+        ratio = base / small
+        assert 2.5 < ratio < 3.5  # (224/128)^2 ≈ 3.06
+
+    def test_channel_scaling(self):
+        spec = mobilenet_v1_spec(224, 0.5)
+        assert spec.layers[0].out_channels == 16
+        assert spec.layers[-1].in_channels == 512
+
+    def test_minimum_channels_floor(self):
+        spec = mobilenet_v1_spec(128, 0.25)
+        assert all(l.out_channels >= 8 for l in spec.layers[:-1])
+
+    def test_spatial_sizes_chain(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        for prev, nxt in zip(spec.layers[:-2], spec.layers[1:-1]):
+            assert prev.out_h == nxt.in_h
+            assert prev.out_channels == nxt.in_channels
+
+    def test_first_layer_stride_two(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        l0 = spec.layers[0]
+        assert l0.kind == "conv" and l0.stride == 2 and l0.out_h == 112
+
+    def test_fc_layer_shape(self):
+        spec = mobilenet_v1_spec(224, 1.0, num_classes=1000)
+        fc = spec.layers[-1]
+        assert fc.kind == "fc" and fc.out_channels == 1000 and fc.in_channels == 1024
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            mobilenet_v1_spec(100, 1.0)
+
+    def test_weight_counts_by_kind(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        dw = spec.layers[1]
+        assert dw.kind == "dw"
+        assert dw.weight_count == dw.out_channels * 9
+        pw = spec.layers[2]
+        assert pw.kind == "pw"
+        assert pw.weight_count == pw.out_channels * pw.in_channels
+
+    def test_im2col_patch(self):
+        spec = mobilenet_v1_spec(224, 1.0)
+        assert spec.layers[0].im2col_patch == 3 * 9
+        assert spec.layers[1].im2col_patch == 9
+        assert spec.layers[-1].im2col_patch == 1024
+
+
+class TestAllConfigs:
+    def test_sixteen_configurations(self):
+        configs = all_mobilenet_configs()
+        assert len(configs) == len(MOBILENET_RESOLUTIONS) * len(MOBILENET_WIDTH_MULTIPLIERS)
+        labels = {c.label for c in configs}
+        assert len(labels) == 16
+
+    def test_macs_monotone_in_width(self):
+        for res in MOBILENET_RESOLUTIONS:
+            macs = [mobilenet_v1_spec(res, wm).total_macs for wm in MOBILENET_WIDTH_MULTIPLIERS]
+            assert macs == sorted(macs)
+
+    def test_weights_independent_of_resolution(self):
+        w224 = mobilenet_v1_spec(224, 0.5).total_weights
+        w128 = mobilenet_v1_spec(128, 0.5).total_weights
+        assert w224 == w128

@@ -1,0 +1,72 @@
+"""Instantiable models: MobileNetV1 and the small testbed networks."""
+
+import numpy as np
+
+import repro
+from repro import nn
+from repro.models.mobilenet_v1 import ConvBNBlock, build_mobilenet_v1
+
+
+class TestMobileNetV1:
+    def test_small_config_forward_shape(self, rng):
+        model = build_mobilenet_v1(resolution=32, width_multiplier=0.25, num_classes=10)
+        # resolution 32 is not a paper config but is valid (multiple of 32)
+        x = rng.normal(size=(2, 3, 32, 32))
+        logits = model(x)
+        assert logits.shape == (2, 10)
+
+    def test_backward_produces_gradients(self, rng):
+        model = build_mobilenet_v1(resolution=32, width_multiplier=0.25, num_classes=5)
+        x = rng.normal(size=(2, 3, 32, 32))
+        logits = model(x)
+        model.backward(np.ones_like(logits))
+        grads = [np.abs(p.grad).sum() for p in model.parameters() if p.requires_grad]
+        assert sum(g > 0 for g in grads) > len(grads) // 2
+
+    def test_block_count_matches_spec(self):
+        model = build_mobilenet_v1(resolution=32, width_multiplier=0.25, num_classes=5)
+        assert len(model.conv_blocks()) == len(model.spec) - 1
+
+    def test_blocks_are_conv_bn_blocks(self):
+        model = build_mobilenet_v1(resolution=32, width_multiplier=0.25, num_classes=5)
+        assert all(isinstance(b, ConvBNBlock) for b in model.conv_blocks())
+
+    def test_classifier_matches_spec(self):
+        model = build_mobilenet_v1(resolution=32, width_multiplier=0.5, num_classes=7)
+        assert model.classifier.out_features == 7
+        assert model.classifier.in_features == model.spec.layers[-1].in_channels
+
+    def test_deterministic_given_seed(self, rng):
+        m1 = build_mobilenet_v1(resolution=32, width_multiplier=0.25, num_classes=5, seed=3)
+        m2 = build_mobilenet_v1(resolution=32, width_multiplier=0.25, num_classes=5, seed=3)
+        x = rng.normal(size=(1, 3, 32, 32))
+        assert np.allclose(m1(x), m2(x))
+
+
+class TestSmallModels:
+    def test_small_cnn_forward(self, rng):
+        model = repro.build_small_cnn(resolution=16, channels=8, num_classes=4)
+        y = model(rng.normal(size=(3, 3, 16, 16)))
+        assert y.shape == (3, 4)
+
+    def test_tiny_mobilenet_forward(self, rng):
+        model = repro.build_tiny_mobilenet(resolution=32, width=8, num_classes=6)
+        y = model(rng.normal(size=(2, 3, 32, 32)))
+        assert y.shape == (2, 6)
+
+    def test_tiny_mobilenet_spec_consistency(self):
+        model = repro.build_tiny_mobilenet(resolution=32, width=8, num_classes=6)
+        assert len(model.conv_blocks()) == len(model.spec) - 1
+        kinds = [l.kind for l in model.spec.layers]
+        assert "dw" in kinds and "pw" in kinds and kinds[-1] == "fc"
+
+    def test_tiny_mobilenet_uses_depthwise_layers(self):
+        model = repro.build_tiny_mobilenet(resolution=32, width=8, num_classes=6)
+        convs = [b.conv for b in model.conv_blocks()]
+        assert any(isinstance(c, nn.DepthwiseConv2d) for c in convs)
+
+    def test_small_cnn_backward(self, rng):
+        model = repro.build_small_cnn(resolution=16, channels=8, num_classes=4)
+        y = model(rng.normal(size=(2, 3, 16, 16)))
+        gx = model.backward(np.ones_like(y))
+        assert gx.shape == (2, 3, 16, 16)

@@ -1,0 +1,154 @@
+"""Layer-level tests: shapes, parameter registration, train/eval behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        y = conv(rng.normal(size=(2, 3, 16, 16)))
+        assert y.shape == (2, 8, 8, 8)
+
+    def test_parameters_registered(self, rng):
+        conv = nn.Conv2d(3, 8, 3, rng=rng)
+        names = [p.name for p in conv.parameters()]
+        assert "weight" in names and "bias" in names
+
+    def test_no_bias(self, rng):
+        conv = nn.Conv2d(3, 8, 3, bias=False, rng=rng)
+        assert conv.bias is None
+        assert len(conv.parameters()) == 1
+
+    def test_backward_accumulates_grads(self, rng):
+        conv = nn.Conv2d(2, 4, 3, padding=1, rng=rng)
+        x = rng.normal(size=(1, 2, 6, 6))
+        y = conv(x)
+        gx = conv.backward(np.ones_like(y))
+        assert gx.shape == x.shape
+        assert np.any(conv.weight.grad != 0)
+
+    def test_macs(self):
+        conv = nn.Conv2d(3, 32, 3, stride=2, padding=1)
+        assert conv.macs(224, 224) == 112 * 112 * 32 * 3 * 9
+
+
+class TestDepthwiseConv2d:
+    def test_output_shape(self, rng):
+        conv = nn.DepthwiseConv2d(6, 3, stride=1, padding=1, rng=rng)
+        y = conv(rng.normal(size=(2, 6, 8, 8)))
+        assert y.shape == (2, 6, 8, 8)
+
+    def test_macs(self):
+        conv = nn.DepthwiseConv2d(32, 3, stride=1, padding=1)
+        assert conv.macs(112, 112) == 112 * 112 * 32 * 9
+
+
+class TestLinear:
+    def test_forward_backward(self, rng):
+        lin = nn.Linear(10, 4, rng=rng)
+        x = rng.normal(size=(3, 10))
+        y = lin(x)
+        assert y.shape == (3, 4)
+        gx = lin.backward(np.ones_like(y))
+        assert gx.shape == x.shape
+        assert np.allclose(lin.bias.grad, 3.0)
+
+
+class TestBatchNorm2d:
+    def test_training_normalises_batch(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5))
+        y = bn(x)
+        assert abs(y.mean()) < 1e-6
+        assert abs(y.var() - 1.0) < 1e-2
+
+    def test_running_stats_updated(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = rng.normal(loc=1.0, size=(16, 2, 4, 4))
+        bn(x)
+        assert np.all(bn._buffers["running_mean"] != 0)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = rng.normal(size=(8, 2, 4, 4))
+        for _ in range(10):
+            bn(x)
+        bn.eval()
+        y_eval = bn(x)
+        bn.train()
+        y_train = bn(x)
+        # In eval mode the output should be close to, but generally not
+        # identical to, the training-mode output.
+        assert y_eval.shape == y_train.shape
+
+    def test_freeze_stops_updates(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn(rng.normal(size=(4, 2, 4, 4)))
+        bn.freeze()
+        before = bn._buffers["running_mean"].copy()
+        bn(rng.normal(loc=10.0, size=(4, 2, 4, 4)))
+        assert np.allclose(bn._buffers["running_mean"], before)
+        assert not bn.gamma.requires_grad and not bn.beta.requires_grad
+
+    def test_channel_scale_shift_matches_eval_transform(self, rng):
+        bn = nn.BatchNorm2d(3)
+        for _ in range(5):
+            bn(rng.normal(loc=2.0, scale=1.5, size=(8, 3, 4, 4)))
+        bn.eval()
+        x = rng.normal(size=(2, 3, 4, 4))
+        y = bn(x)
+        scale, shift = bn.channel_scale_shift()
+        ref = x * scale.reshape(1, -1, 1, 1) + shift.reshape(1, -1, 1, 1)
+        assert np.allclose(y, ref)
+
+    def test_backward_gradients_finite(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = rng.normal(size=(4, 3, 4, 4))
+        y = bn(x)
+        gx = bn.backward(rng.normal(size=y.shape))
+        assert np.all(np.isfinite(gx))
+        assert np.all(np.isfinite(bn.gamma.grad))
+
+
+class TestActivations:
+    def test_relu(self):
+        relu = nn.ReLU()
+        x = np.array([[-1.0, 0.5], [2.0, -3.0]])
+        assert np.allclose(relu(x), [[0, 0.5], [2.0, 0]])
+        assert np.allclose(relu.backward(np.ones_like(x)), [[0, 1], [1, 0]])
+
+    def test_relu6(self):
+        relu6 = nn.ReLU6()
+        x = np.array([-1.0, 3.0, 7.0])
+        assert np.allclose(relu6(x), [0, 3, 6])
+        assert np.allclose(relu6.backward(np.ones(3)), [0, 1, 0])
+
+
+class TestContainers:
+    def test_flatten_roundtrip(self, rng):
+        fl = nn.Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        y = fl(x)
+        assert y.shape == (2, 48)
+        assert fl.backward(y).shape == x.shape
+
+    def test_identity(self, rng):
+        ident = nn.Identity()
+        x = rng.normal(size=(3, 3))
+        assert np.allclose(ident(x), x)
+        assert np.allclose(ident.backward(x), x)
+
+    def test_global_avg_pool_module(self, rng):
+        pool = nn.GlobalAvgPool2d()
+        x = rng.normal(size=(2, 4, 6, 6))
+        y = pool(x)
+        assert y.shape == (2, 4, 1, 1)
+        assert pool.backward(np.ones_like(y)).shape == x.shape
+
+    def test_avg_pool_module(self, rng):
+        pool = nn.AvgPool2d(2)
+        x = rng.normal(size=(1, 2, 4, 4))
+        assert pool(x).shape == (1, 2, 2, 2)

@@ -1,0 +1,116 @@
+"""Loss functions and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.loss import accuracy, softmax, topk_accuracy
+from repro.nn.tensor import Parameter
+
+
+class TestSoftmaxCrossEntropy:
+    def test_softmax_sums_to_one(self, rng):
+        probs = softmax(rng.normal(size=(5, 10)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+
+    def test_loss_of_perfect_prediction_is_small(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss = nn.CrossEntropyLoss()(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_loss_of_uniform_prediction(self):
+        logits = np.zeros((4, 10))
+        loss = nn.CrossEntropyLoss()(logits, np.zeros(4, dtype=int))
+        assert abs(loss - np.log(10)) < 1e-6
+
+    def test_gradient_matches_softmax_minus_onehot(self, rng):
+        logits = rng.normal(size=(3, 5))
+        targets = np.array([1, 4, 0])
+        crit = nn.CrossEntropyLoss()
+        crit(logits, targets)
+        grad = crit.backward()
+        expected = softmax(logits)
+        expected[np.arange(3), targets] -= 1
+        assert np.allclose(grad, expected / 3)
+
+    def test_rejects_non_2d_logits(self):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss()(np.zeros((2, 3, 4)), np.zeros(2, dtype=int))
+
+    def test_accuracy_helpers(self):
+        logits = np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+        assert accuracy(logits, np.array([1, 1])) == 0.5
+        assert topk_accuracy(logits, np.array([2, 2]), k=2) == 0.5
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1)
+        p.accumulate_grad(np.array([2.0]))
+        opt.step()
+        assert np.allclose(p.data, 0.8)
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = nn.SGD([p], lr=1.0, momentum=0.9)
+        for _ in range(2):
+            p.zero_grad()
+            p.accumulate_grad(np.array([1.0]))
+            opt.step()
+        # step1: v=1, p=-1; step2: v=1.9, p=-2.9
+        assert np.allclose(p.data, -2.9)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1, weight_decay=0.5)
+        opt.step()  # zero grad, decay only
+        assert np.allclose(p.data, 1.0 - 0.1 * 0.5)
+
+    def test_frozen_parameters_skipped(self):
+        p = Parameter(np.array([1.0]), requires_grad=False)
+        opt = nn.SGD([p], lr=0.1)
+        opt.step()
+        assert np.allclose(p.data, 1.0)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.0)
+
+
+class TestAdam:
+    def test_step_direction(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.Adam([p], lr=0.1)
+        p.accumulate_grad(np.array([1.0]))
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = nn.Adam([p], lr=0.2)
+        for _ in range(200):
+            p.zero_grad()
+            p.accumulate_grad(2 * p.data)  # d/dp of p^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+    def test_set_lr(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.Adam([p], lr=0.1)
+        opt.set_lr(0.01)
+        assert opt.lr == 0.01
+        with pytest.raises(ValueError):
+            opt.set_lr(-1)
+
+    def test_optimizer_zero_grad(self):
+        p = Parameter(np.array([1.0]))
+        p.accumulate_grad(np.array([3.0]))
+        opt = nn.Adam([p], lr=0.1)
+        opt.zero_grad()
+        assert np.allclose(p.grad, 0.0)

@@ -1,0 +1,123 @@
+"""Module container mechanics: registration, traversal, state dict, modes."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter
+
+
+class _Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones(3))
+        self.child = nn.Linear(4, 2)
+
+    def forward(self, x):
+        return x
+
+    def backward(self, g):
+        return g
+
+
+class TestParameter:
+    def test_grad_accumulation(self):
+        p = Parameter(np.zeros(4))
+        p.accumulate_grad(np.ones(4))
+        p.accumulate_grad(np.ones(4))
+        assert np.allclose(p.grad, 2.0)
+        p.zero_grad()
+        assert np.allclose(p.grad, 0.0)
+
+    def test_frozen_parameter_ignores_grads(self):
+        p = Parameter(np.zeros(2), requires_grad=False)
+        p.accumulate_grad(np.ones(2))
+        assert np.allclose(p.grad, 0.0)
+
+    def test_shape_mismatch_raises(self):
+        p = Parameter(np.zeros(2))
+        try:
+            p.accumulate_grad(np.ones(3))
+            assert False, "expected ValueError"
+        except ValueError:
+            pass
+
+    def test_copy_(self):
+        p = Parameter(np.zeros(3))
+        p.copy_(np.arange(3))
+        assert np.allclose(p.data, [0, 1, 2])
+
+
+class TestModule:
+    def test_parameter_collection_recurses(self):
+        toy = _Toy()
+        params = toy.parameters()
+        assert len(params) == 3  # w + child weight + child bias
+
+    def test_named_parameters_prefixes(self):
+        toy = _Toy()
+        names = dict(toy.named_parameters()).keys()
+        assert "w" in names
+        assert "child.weight" in names and "child.bias" in names
+
+    def test_modules_iteration(self):
+        toy = _Toy()
+        mods = list(toy.modules())
+        assert toy in mods and toy.child in mods
+
+    def test_train_eval_propagates(self):
+        toy = _Toy()
+        toy.eval()
+        assert not toy.training and not toy.child.training
+        toy.train()
+        assert toy.training and toy.child.training
+
+    def test_zero_grad(self):
+        toy = _Toy()
+        toy.w.accumulate_grad(np.ones(3))
+        toy.zero_grad()
+        assert np.allclose(toy.w.grad, 0.0)
+
+    def test_state_dict_roundtrip(self):
+        toy = _Toy()
+        toy.w.data[...] = 7.0
+        state = toy.state_dict()
+        other = _Toy()
+        other.load_state_dict(state)
+        assert np.allclose(other.w.data, 7.0)
+        assert np.allclose(other.child.weight.data, toy.child.weight.data)
+
+    def test_state_dict_includes_buffers(self):
+        bn = nn.BatchNorm2d(2)
+        bn._buffers["running_mean"][...] = 3.0
+        state = bn.state_dict()
+        assert any("running_mean" in k for k in state)
+
+    def test_load_state_dict_restores_buffers(self):
+        bn = nn.BatchNorm2d(2)
+        bn._buffers["running_mean"][...] = 3.0
+        state = bn.state_dict()
+        fresh = nn.BatchNorm2d(2)
+        fresh.load_state_dict(state)
+        assert np.allclose(fresh._buffers["running_mean"], 3.0)
+
+
+class TestSequential:
+    def test_forward_backward_chain(self, rng):
+        seq = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        x = rng.normal(size=(3, 4))
+        y = seq(x)
+        assert y.shape == (3, 2)
+        gx = seq.backward(np.ones_like(y))
+        assert gx.shape == x.shape
+
+    def test_indexing_and_len(self, rng):
+        seq = nn.Sequential(nn.ReLU(), nn.ReLU6())
+        assert len(seq) == 2
+        assert isinstance(seq[1], nn.ReLU6)
+        assert [type(m).__name__ for m in seq] == ["ReLU", "ReLU6"]
+
+    def test_append(self):
+        seq = nn.Sequential()
+        seq.append(nn.ReLU())
+        assert len(seq) == 1

@@ -1,0 +1,86 @@
+"""Command line interface (repro-mcu)."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.core.policy import QuantPolicy
+
+
+class TestSearchCommand:
+    def test_search_prints_policy_and_memory(self, capsys):
+        rc = cli.main(["search", "--resolution", "192", "--width", "0.5",
+                       "--device", "stm32h7"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "policy for mobilenet_v1_192_0.5" in out
+        assert "read-only" in out and "feasible  : True" in out
+
+    def test_search_writes_policy_json(self, tmp_path, capsys):
+        path = tmp_path / "policy.json"
+        rc = cli.main(["search", "--resolution", "224", "--width", "0.75",
+                       "--output", str(path)])
+        assert rc == 0
+        policy = QuantPolicy.from_json(path.read_text())
+        assert len(policy) == 28
+        policy.validate()
+
+    def test_search_infeasible_budget_returns_nonzero(self, capsys):
+        rc = cli.main(["search", "--resolution", "224", "--width", "1.0",
+                       "--flash-mb", "0.1", "--ram-kb", "16"])
+        assert rc == 1
+
+    def test_search_method_option(self, capsys):
+        rc = cli.main(["search", "--resolution", "192", "--width", "0.5",
+                       "--method", "PL+ICN"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "[PL+ICN]" in out
+
+
+class TestDeployCommand:
+    def test_deploy_report(self, capsys):
+        rc = cli.main(["deploy", "--resolution", "224", "--width", "0.75"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "STM32H743" in out and "predicted Top-1" in out
+
+    def test_deploy_with_saved_policy(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        cli.main(["search", "--resolution", "128", "--width", "0.25",
+                  "--output", str(path)])
+        capsys.readouterr()
+        rc = cli.main(["deploy", "--resolution", "128", "--width", "0.25",
+                       "--policy", str(path)])
+        assert rc == 0
+
+    def test_deploy_budget_override(self, capsys):
+        rc = cli.main(["deploy", "--resolution", "224", "--width", "1.0",
+                       "--device", "stm32l4"])
+        # 224_1.0 cannot fit an STM32L4 even at 2 bit.
+        assert rc == 1
+
+
+class TestSweepAndTable:
+    def test_sweep_lists_configs(self, capsys):
+        rc = cli.main(["sweep", "--device", "stm32h7"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "128_0.25" in out and "Pareto frontier" in out
+
+    def test_sweep_all_methods(self, capsys):
+        rc = cli.main(["sweep", "--all-methods"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "MixQ-PL" in out and "MixQ-PC-ICN" in out
+
+    @pytest.mark.parametrize("name", ["table1", "table2", "table3", "table4"])
+    def test_tables_render(self, capsys, name):
+        rc = cli.main(["table", name])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table" in out and "|" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["frobnicate"])

@@ -1,0 +1,129 @@
+"""Full-precision training and the QAT pipeline (preparation + schedule)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import nn
+from repro.core.fake_quant import QuantConvBNBlock, QuantLinear
+from repro.core.policy import QuantMethod, QuantPolicy
+from repro.training import (
+    QATConfig,
+    QATTrainer,
+    TrainConfig,
+    Trainer,
+    evaluate_model,
+    prepare_qat,
+)
+
+
+class TestTrainer:
+    def test_training_improves_over_chance(self, small_dataset, pretrained_tiny_model):
+        _, result = pretrained_tiny_model
+        chance = 1.0 / small_dataset.num_classes
+        assert result.final_test_acc > chance + 0.3
+
+    def test_loss_decreases(self, pretrained_tiny_model):
+        _, result = pretrained_tiny_model
+        assert result.train_loss[-1] < result.train_loss[0]
+
+    def test_history_lengths(self, pretrained_tiny_model):
+        _, result = pretrained_tiny_model
+        assert len(result.train_loss) == len(result.train_acc) == len(result.test_acc)
+
+
+class TestPrepareQAT:
+    def _fresh_model(self):
+        return repro.build_tiny_mobilenet(resolution=16, width=8, num_classes=5, seed=0)
+
+    def test_blocks_replaced(self, small_dataset):
+        model = self._fresh_model()
+        policy = QuantPolicy.uniform(model.spec, method=QuantMethod.PC_ICN, bits=4)
+        prepare_qat(model, policy)
+        assert all(isinstance(b, QuantConvBNBlock) for b in model.features)
+        assert isinstance(model.classifier, QuantLinear)
+
+    def test_bits_taken_from_policy(self, small_dataset):
+        model = self._fresh_model()
+        policy = QuantPolicy.uniform(model.spec, method=QuantMethod.PC_ICN, bits=8)
+        policy[2].q_w = 4
+        policy[2].q_out = 2
+        policy.link_activations()
+        prepare_qat(model, policy)
+        blocks = list(model.features)
+        assert blocks[2].weight_quant.bits == 4
+        assert blocks[2].act_quant.bits == 2
+        assert blocks[0].weight_quant.bits == 8
+
+    def test_weight_scheme_follows_method(self):
+        model_pc = self._fresh_model()
+        policy_pc = QuantPolicy.uniform(model_pc.spec, method=QuantMethod.PC_ICN, bits=8)
+        prepare_qat(model_pc, policy_pc)
+        assert list(model_pc.features)[0].weight_quant.scheme == "minmax_pc"
+
+        model_pl = self._fresh_model()
+        policy_pl = QuantPolicy.uniform(model_pl.spec, method=QuantMethod.PL_ICN, bits=8)
+        prepare_qat(model_pl, policy_pl)
+        assert list(model_pl.features)[0].weight_quant.scheme == "pact_pl"
+
+    def test_fold_flag_follows_method(self):
+        model = self._fresh_model()
+        policy = QuantPolicy.uniform(model.spec, method=QuantMethod.PL_FB, bits=8)
+        prepare_qat(model, policy)
+        assert all(b.fold_bn for b in model.features)
+
+    def test_calibration_initialises_alphas(self, small_dataset):
+        model = self._fresh_model()
+        policy = QuantPolicy.uniform(model.spec, method=QuantMethod.PC_ICN, bits=8)
+        prepare_qat(model, policy, calibration_data=small_dataset.x_train[:32])
+        alphas = [float(b.act_quant.alpha.data[0]) for b in model.features]
+        assert all(a > 0 for a in alphas)
+        assert len(set(round(a, 6) for a in alphas)) > 1  # not all the default 6.0
+
+    def test_policy_length_mismatch_rejected(self):
+        model = self._fresh_model()
+        other_spec = repro.build_small_cnn(resolution=16, channels=8, num_classes=5).spec
+        policy = QuantPolicy.uniform(other_spec, bits=8)
+        with pytest.raises(ValueError):
+            prepare_qat(model, policy)
+
+    def test_double_preparation_rejected(self):
+        model = self._fresh_model()
+        policy = QuantPolicy.uniform(model.spec, bits=8)
+        prepare_qat(model, policy)
+        with pytest.raises(ValueError):
+            prepare_qat(model, policy)
+
+    def test_forward_still_works_after_preparation(self, small_dataset):
+        model = self._fresh_model()
+        policy = QuantPolicy.uniform(model.spec, bits=8)
+        prepare_qat(model, policy, calibration_data=small_dataset.x_train[:16])
+        logits = model(small_dataset.x_test[:4])
+        assert logits.shape == (4, 5)
+
+
+class TestQATTrainer:
+    def test_qat_recovers_accuracy(self, qat_pc_icn_model, small_dataset):
+        acc = evaluate_model(qat_pc_icn_model, small_dataset)
+        assert acc > 0.8
+
+    def test_4bit_qat_above_chance(self, qat_pc_icn_4bit_model, small_dataset):
+        acc = evaluate_model(qat_pc_icn_4bit_model, small_dataset)
+        assert acc > 0.5
+
+    def test_bn_frozen_after_first_epoch(self, qat_pc_icn_model):
+        for module in qat_pc_icn_model.modules():
+            if isinstance(module, nn.BatchNorm2d):
+                assert module.frozen
+
+    def test_lr_schedule_applied(self, small_dataset):
+        model = repro.build_tiny_mobilenet(resolution=16, width=8, num_classes=5, seed=0)
+        policy = QuantPolicy.uniform(model.spec, bits=8)
+        prepare_qat(model, policy)
+        trainer = QATTrainer(model, QATConfig(epochs=3, lr=1e-3, lr_schedule={1: 1e-4, 2: 1e-5}))
+        trainer.fit(small_dataset)
+        assert trainer.optimizer.lr == pytest.approx(1e-5)
+
+    def test_pact_alphas_stay_positive(self, qat_pc_icn_model):
+        for block in qat_pc_icn_model.features:
+            assert float(block.act_quant.alpha.data[0]) > 0
