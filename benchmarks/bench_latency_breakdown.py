@@ -53,6 +53,17 @@ def test_benchmark_int_conv_kernel(benchmark, w_bits):
     assert phi.shape == (1, 64, 28, 28)
 
 
+@pytest.mark.parametrize("backend", ["blas", "int64"])
+def test_benchmark_int_conv_kernel_backends(benchmark, backend):
+    """BLAS fast path vs int64 einsum reference on the same operands."""
+    rng = np.random.default_rng(0)
+    x = rng.integers(0, 256, size=(1, 32, 28, 28))
+    w = rng.integers(0, 256, size=(64, 32, 3, 3))
+    z_w = rng.integers(0, 256, size=64)
+    phi = benchmark(int_conv2d, x, w, 0, z_w, 1, 1, 8, 8, True, backend)
+    assert np.array_equal(phi, int_conv2d(x, w, 0, z_w, 1, 1, 8, 8, backend="int64"))
+
+
 def test_benchmark_int_depthwise_kernel(benchmark):
     rng = np.random.default_rng(0)
     x = rng.integers(0, 256, size=(1, 64, 28, 28))

@@ -335,7 +335,7 @@ def _fixed_point_scale(acc: np.ndarray, m0_int: np.ndarray, n0: np.ndarray) -> n
     |m0_int| <= 2^31), and ``floor`` of the scaled value is an exact
     arithmetic shift: ``floor_divide(m0_int * acc, 2^(31 - n0))``.
     """
-    prod = m0_int.astype(np.int64) * acc.astype(np.int64)
+    prod = m0_int.astype(np.int64, copy=False) * acc.astype(np.int64, copy=False)
     shift = M0_FRACTIONAL_BITS - n0.astype(np.int64)
     # shift >= 0 is the practical case (M < 2^31); guard the other branch.
     # Shifts beyond 62 would overflow the int64 divisor; they correspond to
@@ -364,9 +364,9 @@ def icn_requantize(
     m0 = params.m0.reshape(shape)
     n0 = params.n0.reshape(shape)
     bq = params.bq.reshape(shape)
-    acc = phi.astype(np.int64) + bq
+    acc = phi.astype(np.int64, copy=False) + bq
     y = params.z_y + _fixed_point_scale(acc, m0, n0)
-    return np.clip(y, 0, 2 ** params.out_bits - 1).astype(np.int64)
+    return np.clip(y, 0, 2 ** params.out_bits - 1).astype(np.int64, copy=False)
 
 
 def folded_requantize(phi: np.ndarray, params: FoldedBNParams, channel_axis: int = 1) -> np.ndarray:
@@ -374,11 +374,11 @@ def folded_requantize(phi: np.ndarray, params: FoldedBNParams, channel_axis: int
     shape = [1] * phi.ndim
     shape[channel_axis] = -1
     bq = params.bq.reshape(shape)
-    acc = phi.astype(np.int64) + bq
+    acc = phi.astype(np.int64, copy=False) + bq
     y = params.z_y + _fixed_point_scale(
         acc, np.array([params.m0], dtype=np.int64), np.array([params.n0], dtype=np.int64)
     )
-    return np.clip(y, 0, 2 ** params.out_bits - 1).astype(np.int64)
+    return np.clip(y, 0, 2 ** params.out_bits - 1).astype(np.int64, copy=False)
 
 
 def threshold_requantize(phi: np.ndarray, params: ThresholdParams, channel_axis: int = 1) -> np.ndarray:
@@ -401,4 +401,4 @@ def threshold_requantize(phi: np.ndarray, params: ThresholdParams, channel_axis:
             rev = th[1:][::-1]
             y = levels - 1 - np.searchsorted(rev, vals, side="left")
         out[c] = np.clip(y, 0, levels - 1)
-    return np.moveaxis(out, 0, channel_axis).astype(np.int64)
+    return np.moveaxis(out, 0, channel_axis).astype(np.int64, copy=False)

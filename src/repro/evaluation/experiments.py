@@ -8,6 +8,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.memory_model import MemoryModel, layer_extra_params_bytes, table1_row
 from repro.core.mixed_precision import search_mixed_precision
 from repro.core.policy import QuantMethod, QuantPolicy
@@ -201,6 +203,51 @@ def table3(accuracy_model: Optional[AccuracyModel] = None) -> List[Table3Row]:
             )
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Measured integer inference (compiled engine, bounded-memory sweeps)
+# ----------------------------------------------------------------------
+def evaluate_integer_network(
+    net,
+    x: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    batch_size: int = 64,
+    compiled: bool = True,
+    backend: str = "auto",
+) -> Dict:
+    """Measured (not modeled) inference of an ``IntegerNetwork`` sweep.
+
+    Unlike the analytical table/figure entry points above, this actually
+    executes the deployment graph on ``x`` (N, C, H, W real images).  With
+    ``compiled=True`` the sweep streams through a compiled
+    :class:`~repro.inference.plan.ExecutionPlan` in ``batch_size`` tiles,
+    so peak memory is bounded by one tile regardless of the sweep size;
+    ``compiled=False`` keeps the interpreted int64 reference path for
+    cross-checks.  Returns predictions and, when ``labels`` is given, the
+    measured top-1.
+    """
+    x = np.asarray(x)
+    if compiled:
+        plan = net.compile(backend=backend)
+        logits = plan.run_batched(x, batch_size=batch_size)
+    elif x.shape[0] <= batch_size:
+        logits = net.forward(x)
+    else:
+        logits = np.concatenate(
+            [net.forward(x[i:i + batch_size]) for i in range(0, x.shape[0], batch_size)],
+            axis=0,
+        )
+    preds = np.argmax(logits, axis=1)
+    out: Dict = {
+        "num_images": int(x.shape[0]),
+        "batch_size": int(batch_size),
+        "compiled": bool(compiled),
+        "predictions": preds,
+    }
+    if labels is not None:
+        out["top1"] = float(np.mean(preds == np.asarray(labels)))
+    return out
 
 
 # ----------------------------------------------------------------------

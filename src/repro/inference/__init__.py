@@ -4,9 +4,12 @@ CMSIS-NN kernels the paper deploys on the STM32H7."""
 from repro.inference.packing import pack_subbyte, unpack_subbyte, packed_size_bytes
 from repro.inference.int_tensor import QuantizedTensor
 from repro.inference.kernels import (
+    blas_gemm_is_exact,
     int_conv2d,
     int_depthwise_conv2d,
     int_linear,
+    max_abs_accumulator,
+    resolve_gemm_backend,
 )
 from repro.inference.engine import (
     IntegerConvLayer,
@@ -14,6 +17,7 @@ from repro.inference.engine import (
     IntegerAvgPool,
     IntegerNetwork,
 )
+from repro.inference.plan import ExecutionPlan, LayerPlanInfo
 from repro.inference.export import export_network, deployment_size_bytes
 
 __all__ = [
@@ -21,6 +25,9 @@ __all__ = [
     "unpack_subbyte",
     "packed_size_bytes",
     "QuantizedTensor",
+    "blas_gemm_is_exact",
+    "max_abs_accumulator",
+    "resolve_gemm_backend",
     "int_conv2d",
     "int_depthwise_conv2d",
     "int_linear",
@@ -28,6 +35,8 @@ __all__ = [
     "IntegerLinearLayer",
     "IntegerAvgPool",
     "IntegerNetwork",
+    "ExecutionPlan",
+    "LayerPlanInfo",
     "export_network",
     "deployment_size_bytes",
 ]

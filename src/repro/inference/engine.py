@@ -27,6 +27,7 @@ from repro.inference.kernels import (
     int_conv2d,
     int_depthwise_conv2d,
     int_linear,
+    quantize_input_codes,
 )
 from repro.inference.packing import packed_size_bytes
 
@@ -53,19 +54,30 @@ class IntegerConvLayer:
     in_scale: float
     out_scale: float
 
-    def forward(self, x_codes: np.ndarray) -> np.ndarray:
+    def forward(
+        self, x_codes: np.ndarray, validate: bool = True, backend: str = "int64"
+    ) -> np.ndarray:
+        """Interpreted (reference) forward.
+
+        Defaults to the int64 einsum backend so this path stays the
+        ground truth the compiled :class:`~repro.inference.plan.ExecutionPlan`
+        is verified against; pass ``backend="auto"`` to allow the BLAS
+        fast path here too.
+        """
         p = self.params
         if self.kind == "dw":
             phi = int_depthwise_conv2d(
                 x_codes, p.weights_q, p.z_x, p.z_w,
                 stride=self.stride, padding=self.padding,
                 x_bits=self.in_bits, w_bits=p.w_bits,
+                validate=validate, backend=backend,
             )
         else:
             phi = int_conv2d(
                 x_codes, p.weights_q, p.z_x, p.z_w,
                 stride=self.stride, padding=self.padding,
                 x_bits=self.in_bits, w_bits=p.w_bits,
+                validate=validate, backend=backend,
             )
         if isinstance(p, ICNParams):
             return icn_requantize(phi, p)
@@ -98,9 +110,12 @@ class IntegerLinearLayer:
     in_bits: int
     w_bits: int
 
-    def forward(self, x_codes: np.ndarray) -> np.ndarray:
+    def forward(
+        self, x_codes: np.ndarray, validate: bool = True, backend: str = "int64"
+    ) -> np.ndarray:
         phi = int_linear(x_codes, self.weights_q, self.z_x, self.z_w,
-                         x_bits=self.in_bits, w_bits=self.w_bits)
+                         x_bits=self.in_bits, w_bits=self.w_bits,
+                         validate=validate, backend=backend)
         s_w = np.asarray(self.s_w, dtype=np.float64).reshape(-1)
         if s_w.size == 1:
             logits = self.s_in * float(s_w[0]) * phi.astype(np.float64)
@@ -142,9 +157,9 @@ class IntegerNetwork:
 
     def quantize_input(self, x_real: np.ndarray) -> np.ndarray:
         """Quantize a real NCHW image batch into input codes."""
-        q = np.floor(np.asarray(x_real, dtype=np.float64) / self.input_scale)
-        q = q + self.input_zero_point
-        return np.clip(q, 0, 2 ** self.input_bits - 1).astype(np.int64)
+        return quantize_input_codes(
+            x_real, self.input_scale, self.input_zero_point, self.input_bits
+        )
 
     def forward_codes(self, x_codes: np.ndarray) -> np.ndarray:
         """Run the convolutional trunk on integer codes; returns codes."""
@@ -165,6 +180,19 @@ class IntegerNetwork:
     def predict(self, x_real: np.ndarray) -> np.ndarray:
         """Class predictions for a real image batch."""
         return np.argmax(self.forward(x_real), axis=1)
+
+    def compile(self, backend: str = "auto", validate: bool = True):
+        """Compile the graph into an :class:`~repro.inference.plan.ExecutionPlan`.
+
+        The plan precomputes per-layer GEMM-form weights, requantization
+        constants and backend dispatch (float64 BLAS where exact), runs
+        range validation only at the network boundary, and exposes a
+        tiled ``run_batched`` for large sweeps.  Outputs are bit-identical
+        to this interpreted engine.
+        """
+        from repro.inference.plan import ExecutionPlan
+
+        return ExecutionPlan(self, backend=backend, validate=validate)
 
     def weight_storage_bytes(self) -> int:
         total = sum(l.weight_storage_bytes() for l in self.conv_layers)

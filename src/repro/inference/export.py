@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.icn import FoldedBNParams, ICNParams, ThresholdParams
 from repro.inference.engine import IntegerNetwork
+from repro.inference.kernels import gemm_reduction_length, resolve_gemm_backend
 from repro.inference.packing import pack_subbyte, packed_size_bytes
 
 # Byte widths of the auxiliary arrays (§4.1 of the paper).
@@ -55,6 +56,8 @@ def export_network(net: IntegerNetwork) -> Dict:
     layers = []
     for layer in net.conv_layers:
         p = layer.params
+        w_shape = p.weights_q.shape
+        k_reduction = gemm_reduction_length(layer.kind, w_shape)
         entry = {
             "name": layer.name,
             "kind": layer.kind,
@@ -63,11 +66,15 @@ def export_network(net: IntegerNetwork) -> Dict:
             "w_bits": p.w_bits,
             "out_bits": p.out_bits,
             "in_bits": layer.in_bits,
-            "weight_shape": list(p.weights_q.shape),
+            "weight_shape": list(w_shape),
             "weights_packed": pack_subbyte(p.weights_q, p.w_bits),
             "weight_bytes": packed_size_bytes(int(p.weights_q.size), p.w_bits),
             "aux_bytes": _layer_aux_bytes(p),
             "strategy": type(p).__name__,
+            # Host-emulation dispatch decision (recorded so a firmware
+            # image and the emulator agree on the accumulator contract).
+            "k_reduction": int(k_reduction),
+            "gemm_backend": resolve_gemm_backend("auto", k_reduction, layer.in_bits, p.w_bits),
         }
         layers.append(entry)
     out = {"conv_layers": layers}
@@ -76,6 +83,10 @@ def export_network(net: IntegerNetwork) -> Dict:
         out["classifier"] = {
             "name": cl.name,
             "w_bits": cl.w_bits,
+            "k_reduction": gemm_reduction_length("fc", cl.weights_q.shape),
+            "gemm_backend": resolve_gemm_backend(
+                "auto", gemm_reduction_length("fc", cl.weights_q.shape), cl.in_bits, cl.w_bits
+            ),
             "weight_shape": list(cl.weights_q.shape),
             "weights_packed": pack_subbyte(cl.weights_q, cl.w_bits),
             "weight_bytes": packed_size_bytes(int(cl.weights_q.size), cl.w_bits),

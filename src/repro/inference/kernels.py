@@ -4,11 +4,30 @@ Each kernel computes the integer accumulator
 
     Phi = sum (X - Z_x) (W - Z_w)
 
-with int64 arithmetic over UINT-Q operand codes — the same quantity the
-extended CMSIS-NN kernels accumulate in their MAC loop — and leaves the
-requantization (ICN, folded-BN or thresholds) to the caller.  The kernels
-use im2col + matrix products so large feature maps stay fast in numpy
-while remaining exactly integer-valued.
+with exact integer arithmetic over UINT-Q operand codes — the same
+quantity the extended CMSIS-NN kernels accumulate in their MAC loop — and
+leaves the requantization (ICN, folded-BN or thresholds) to the caller.
+
+Two GEMM backends produce the identical accumulator:
+
+``"blas"``
+    The operands are zero-point-shifted into float64 and the contraction
+    runs through ``np.matmul`` so it dispatches to BLAS.  Every operand is
+    an exact small integer and every partial sum is an integer bounded by
+    ``k * (2^Qx - 1) * (2^Qw - 1)``; whenever that bound is below ``2^53``
+    (the float64 significand) every intermediate value is exactly
+    representable and the result equals the integer accumulator
+    bit-for-bit, regardless of the summation order BLAS picks.  This holds
+    for every UINT2/4/8 network the paper deploys.
+``"int64"``
+    The original int64 ``einsum`` contraction.  Never dispatches to BLAS
+    (10-50x slower) but has no magnitude restriction; it is kept as the
+    guarded fallback and as the ground-truth reference the fast path is
+    tested against.
+
+``backend="auto"`` (the default) picks ``"blas"`` exactly when the bound
+holds.  Range validation of the operand codes is opt-in via ``validate``
+so a compiled execution plan can hoist it to the network boundary.
 """
 
 from __future__ import annotations
@@ -17,11 +36,107 @@ import numpy as np
 
 from repro.nn.functional import conv_output_size, im2col
 
+#: Bits of the float64 significand: integer values of magnitude strictly
+#: below ``2^53`` are exactly representable, so a float64 GEMM over such
+#: integers is exact.
+FLOAT64_EXACT_BITS = 53
 
-def _check_codes(name: str, arr: np.ndarray, bits: int) -> None:
+#: Same bound for float32 (24-bit significand).  Depthwise reductions
+#: (k = kh*kw) and narrow pointwise layers fit it even at 8x8 bits, and
+#: sgemm doubles the throughput / halves the traffic of dgemm.
+FLOAT32_EXACT_BITS = 24
+
+GEMM_BACKENDS = ("auto", "blas", "int64")
+
+
+def max_abs_accumulator(k_reduction: int, x_bits: int, w_bits: int) -> int:
+    """Worst-case ``|Phi|`` of a length-``k_reduction`` MAC reduction.
+
+    Assumes codes and zero points both lie in ``[0, 2^Q - 1]``, so each
+    shifted operand is bounded by ``2^Q - 1`` in magnitude.
+    """
+    return k_reduction * (2 ** x_bits - 1) * (2 ** w_bits - 1)
+
+
+def blas_gemm_is_exact(k_reduction: int, x_bits: int, w_bits: int) -> bool:
+    """Whether a float64 BLAS GEMM reproduces the integer accumulator exactly."""
+    return max_abs_accumulator(k_reduction, x_bits, w_bits) < (1 << FLOAT64_EXACT_BITS)
+
+
+def blas_gemm_dtype(k_reduction: int, x_bits: int, w_bits: int):
+    """Narrowest float dtype whose significand holds every partial sum.
+
+    float32 whenever the worst-case accumulator fits 24 bits (sgemm is
+    ~2x dgemm), float64 otherwise; the caller must already have checked
+    :func:`blas_gemm_is_exact`.
+    """
+    if max_abs_accumulator(k_reduction, x_bits, w_bits) < (1 << FLOAT32_EXACT_BITS):
+        return np.float32
+    return np.float64
+
+
+def resolve_gemm_backend(backend: str, k_reduction: int, x_bits: int, w_bits: int) -> str:
+    """Resolve ``"auto"`` to a concrete backend; reject an unsound choice."""
+    if backend not in GEMM_BACKENDS:
+        raise ValueError(f"unknown GEMM backend {backend!r}; expected one of {GEMM_BACKENDS}")
+    exact = blas_gemm_is_exact(k_reduction, x_bits, w_bits)
+    if backend == "auto":
+        return "blas" if exact else "int64"
+    if backend == "blas" and not exact:
+        raise ValueError(
+            f"float64 GEMM is not exact for k={k_reduction}, Qx={x_bits}, Qw={w_bits}: "
+            f"worst-case |Phi| = {max_abs_accumulator(k_reduction, x_bits, w_bits)} "
+            f">= 2^{FLOAT64_EXACT_BITS}"
+        )
+    return backend
+
+
+def check_codes(name: str, arr: np.ndarray, bits: int) -> None:
+    """Validate that ``arr`` holds UINT-``bits`` codes (full min/max scan)."""
     qmax = 2 ** bits - 1
     if arr.size and (arr.min() < 0 or arr.max() > qmax):
         raise ValueError(f"{name} codes out of UINT{bits} range [0, {qmax}]")
+
+
+# Backwards-compatible alias (pre-compile-engine name).
+_check_codes = check_codes
+
+
+def quantize_input_codes(
+    x_real: np.ndarray, scale: float, zero_point: int, bits: int
+) -> np.ndarray:
+    """Quantize real network inputs into UINT-``bits`` codes.
+
+    The single boundary quantizer shared by the interpreted engine and
+    the compiled plan, so their bit-exactness contract cannot drift.
+    """
+    q = np.floor(np.asarray(x_real, dtype=np.float64) / scale)
+    q = q + zero_point
+    return np.clip(q, 0, 2 ** bits - 1).astype(np.int64)
+
+
+def gemm_reduction_length(kind: str, weight_shape) -> int:
+    """MAC-reduction length k of one layer's GEMM, from its weight shape.
+
+    ``kind`` is ``"conv"``/``"pw"`` (k = c_in*kh*kw), ``"dw"`` (k = kh*kw)
+    or ``"fc"`` (k = in_features) — the single source of truth shared by
+    the compiled plan and the deployment export.
+    """
+    if kind == "dw":
+        return int(weight_shape[2]) * int(weight_shape[3])
+    if kind == "fc":
+        return int(weight_shape[1])
+    return int(weight_shape[1]) * int(weight_shape[2]) * int(weight_shape[3])
+
+
+def shift_weights(w_codes: np.ndarray, z_w: np.ndarray | int, c_out: int) -> np.ndarray:
+    """Zero-point-shifted int64 weights; ``z_w`` scalar or per-channel."""
+    z_w_arr = np.asarray(z_w, dtype=np.int64).reshape(-1)
+    if z_w_arr.size == 1:
+        return np.subtract(w_codes, z_w_arr[0], dtype=np.int64)
+    if z_w_arr.size != c_out:
+        raise ValueError("per-channel z_w must have one entry per output channel")
+    return np.subtract(w_codes, z_w_arr.reshape((-1,) + (1,) * (w_codes.ndim - 1)), dtype=np.int64)
 
 
 def int_conv2d(
@@ -33,6 +148,8 @@ def int_conv2d(
     padding: int = 0,
     x_bits: int = 8,
     w_bits: int = 8,
+    validate: bool = True,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Integer accumulator of a standard convolution.
 
@@ -42,24 +159,26 @@ def int_conv2d(
     the padded positions represent the real value 0, as the MCU kernel
     does.
     """
-    _check_codes("activation", x_codes, x_bits)
-    _check_codes("weight", w_codes, w_bits)
+    if validate:
+        check_codes("activation", x_codes, x_bits)
+        check_codes("weight", w_codes, w_bits)
     n, c_in, h, w = x_codes.shape
-    c_out = w_codes.shape[0]
-    # Shift activations by Z_x before im2col so zero padding contributes 0.
-    x_shift = x_codes.astype(np.int64) - int(z_x)
-    cols = im2col(x_shift, w_codes.shape[2], w_codes.shape[3], stride, padding)
-    z_w_arr = np.asarray(z_w, dtype=np.int64).reshape(-1)
-    if z_w_arr.size == 1:
-        w_shift = w_codes.astype(np.int64) - z_w_arr[0]
-    else:
-        if z_w_arr.size != c_out:
-            raise ValueError("per-channel z_w must have one entry per output channel")
-        w_shift = w_codes.astype(np.int64) - z_w_arr.reshape(-1, 1, 1, 1)
+    c_out, _, kh, kw = w_codes.shape
+    backend = resolve_gemm_backend(backend, c_in * kh * kw, x_bits, w_bits)
+    w_shift = shift_weights(w_codes, z_w, c_out)
     w2 = w_shift.reshape(c_out, -1)
-    phi = np.einsum("ok,nkl->nol", w2, cols, optimize=True)
-    oh = conv_output_size(h, w_codes.shape[2], stride, padding)
-    ow = conv_output_size(w, w_codes.shape[3], stride, padding)
+    # Shift activations by Z_x before im2col so zero padding contributes 0.
+    if backend == "blas":
+        dtype = blas_gemm_dtype(c_in * kh * kw, x_bits, w_bits)
+        x_shift = np.subtract(x_codes, int(z_x), dtype=dtype)
+        cols = im2col(x_shift, kh, kw, stride, padding, contiguous=False)
+        phi = np.matmul(w2.astype(dtype), cols).astype(np.int64)
+    else:
+        x_shift = np.subtract(x_codes, int(z_x), dtype=np.int64)
+        cols = im2col(x_shift, kh, kw, stride, padding, contiguous=False)
+        phi = np.einsum("ok,nkl->nol", w2, cols, optimize=True)
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
     return phi.reshape(n, c_out, oh, ow)
 
 
@@ -72,29 +191,40 @@ def int_depthwise_conv2d(
     padding: int = 0,
     x_bits: int = 8,
     w_bits: int = 8,
+    validate: bool = True,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Integer accumulator of a depthwise convolution.
 
     ``w_codes`` has shape (C, 1, kh, kw); the per-channel ``z_w`` vector
     has one entry per channel.
     """
-    _check_codes("activation", x_codes, x_bits)
-    _check_codes("weight", w_codes, w_bits)
+    if validate:
+        check_codes("activation", x_codes, x_bits)
+        check_codes("weight", w_codes, w_bits)
     n, c, h, w = x_codes.shape
     kh, kw = w_codes.shape[2], w_codes.shape[3]
-    x_shift = x_codes.astype(np.int64) - int(z_x)
-    cols = im2col(x_shift, kh, kw, stride, padding).reshape(n, c, kh * kw, -1)
-    z_w_arr = np.asarray(z_w, dtype=np.int64).reshape(-1)
-    if z_w_arr.size == 1:
-        w_shift = w_codes.astype(np.int64) - z_w_arr[0]
-    else:
-        if z_w_arr.size != c:
-            raise ValueError("per-channel z_w must have one entry per channel")
-        w_shift = w_codes.astype(np.int64) - z_w_arr.reshape(-1, 1, 1, 1)
-    w2 = w_shift.reshape(c, kh * kw)
-    phi = np.einsum("ck,nckl->ncl", w2, cols, optimize=True)
     oh = conv_output_size(h, kh, stride, padding)
     ow = conv_output_size(w, kw, stride, padding)
+    backend = resolve_gemm_backend(backend, kh * kw, x_bits, w_bits)
+    try:
+        w_shift = shift_weights(w_codes, z_w, c)
+    except ValueError:
+        raise ValueError("per-channel z_w must have one entry per channel") from None
+    w2 = w_shift.reshape(c, kh * kw)
+    if backend == "blas":
+        dtype = blas_gemm_dtype(kh * kw, x_bits, w_bits)
+        x_shift = np.subtract(x_codes, int(z_x), dtype=dtype)
+        cols = im2col(x_shift, kh, kw, stride, padding, contiguous=False)
+        cols = cols.reshape(n, c, kh * kw, oh * ow)
+        # (C, 1, kh*kw) @ (N, C, kh*kw, L) -> (N, C, 1, L), batched over N, C.
+        phi = np.matmul(w2.astype(dtype)[:, None, :], cols)
+        phi = phi.astype(np.int64).reshape(n, c, oh * ow)
+    else:
+        x_shift = np.subtract(x_codes, int(z_x), dtype=np.int64)
+        cols = im2col(x_shift, kh, kw, stride, padding, contiguous=False)
+        cols = cols.reshape(n, c, kh * kw, oh * ow)
+        phi = np.einsum("ck,nckl->ncl", w2, cols, optimize=True)
     return phi.reshape(n, c, oh, ow)
 
 
@@ -105,21 +235,26 @@ def int_linear(
     z_w: np.ndarray | int,
     x_bits: int = 8,
     w_bits: int = 8,
+    validate: bool = True,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Integer accumulator of a fully connected layer.
 
     ``x_codes``: (N, in_features); ``w_codes``: (out_features, in_features).
     """
-    _check_codes("activation", x_codes, x_bits)
-    _check_codes("weight", w_codes, w_bits)
-    x_shift = x_codes.astype(np.int64) - int(z_x)
-    z_w_arr = np.asarray(z_w, dtype=np.int64).reshape(-1)
-    if z_w_arr.size == 1:
-        w_shift = w_codes.astype(np.int64) - z_w_arr[0]
-    else:
-        if z_w_arr.size != w_codes.shape[0]:
-            raise ValueError("per-channel z_w must have one entry per output feature")
-        w_shift = w_codes.astype(np.int64) - z_w_arr.reshape(-1, 1)
+    if validate:
+        check_codes("activation", x_codes, x_bits)
+        check_codes("weight", w_codes, w_bits)
+    backend = resolve_gemm_backend(backend, w_codes.shape[1], x_bits, w_bits)
+    try:
+        w_shift = shift_weights(w_codes, z_w, w_codes.shape[0])
+    except ValueError:
+        raise ValueError("per-channel z_w must have one entry per output feature") from None
+    if backend == "blas":
+        dtype = blas_gemm_dtype(w_codes.shape[1], x_bits, w_bits)
+        x_shift = np.subtract(x_codes, int(z_x), dtype=dtype)
+        return (x_shift @ w_shift.T.astype(dtype)).astype(np.int64)
+    x_shift = np.subtract(x_codes, int(z_x), dtype=np.int64)
     return x_shift @ w_shift.T
 
 
@@ -130,5 +265,5 @@ def int_avg_pool_global(x_codes: np.ndarray) -> np.ndarray:
     scale and zero point (averaging is affine-invariant up to the floor).
     """
     n, c, h, w = x_codes.shape
-    total = x_codes.astype(np.int64).sum(axis=(2, 3))
+    total = x_codes.astype(np.int64, copy=False).sum(axis=(2, 3), dtype=np.int64)
     return np.floor_divide(total, h * w).reshape(n, c)

@@ -1,0 +1,391 @@
+"""Compile-then-execute inference: the :class:`ExecutionPlan` subsystem.
+
+``IntegerNetwork.compile()`` walks the deployment graph once and hoists
+everything that does not depend on the input batch out of the
+per-inference path:
+
+* weight tensors are zero-point-shifted and reshaped to GEMM form once
+  (the interpreted engine re-shifts and re-reshapes them on every call);
+* each layer's GEMM backend is fixed up front: float64 BLAS whenever the
+  exactness bound ``k * (2^Qx - 1) * (2^Qw - 1) < 2^53`` holds (always
+  true for the UINT2/4/8 networks of the paper), int64 einsum otherwise,
+  with the einsum contraction path resolved once and cached;
+* requantization constants (``m0``/``n0``/``bq``, threshold tables) are
+  pre-reshaped for the flat ``(N, C, L)`` accumulator layout and the
+  fixed-point shift is split into its divisor / left-shift parts;
+* range validation runs once at the network boundary (``validate=True``
+  by default there) instead of per layer inside the hot loop.
+
+The plan executes bit-identically to ``IntegerNetwork.forward`` — the
+tests assert equality against the int64 einsum reference — and
+``run_batched`` streams large evaluation sweeps through the engine in
+fixed-size tiles so memory stays bounded by the batch, not the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.icn import (
+    M0_FRACTIONAL_BITS,
+    FoldedBNParams,
+    ICNParams,
+    ThresholdParams,
+)
+from repro.inference.kernels import (
+    blas_gemm_dtype,
+    check_codes,
+    gemm_reduction_length,
+    int_avg_pool_global,
+    quantize_input_codes,
+    resolve_gemm_backend,
+    shift_weights,
+)
+from repro.nn.functional import conv_output_size, im2col
+
+
+# ----------------------------------------------------------------------
+# Compiled requantization (bit-identical to repro.core.icn on (N, C, L))
+# ----------------------------------------------------------------------
+class _CompiledFixedPointRequant:
+    """Eq. 5 with constants pre-broadcast for the (N, C, L) accumulator.
+
+    Serves both ICN (per-channel ``bq``/``m0``/``n0``) and folded-BN
+    (per-channel ``bq``, scalar multiplier) — they share the identical
+    fixed-point hot loop.  The divide of ``icn._fixed_point_scale`` is a
+    floor division by ``2^pos``, which over int64 equals an arithmetic
+    right shift — several times faster than ``floor_divide`` — and every
+    step runs in place on the freshly allocated accumulator, so
+    requantization adds no allocations to the hot loop.  Bit-identical to
+    :func:`repro.core.icn.icn_requantize` / ``folded_requantize`` by
+    construction (and by test).
+    """
+
+    def __init__(self, bq: np.ndarray, m0, n0, z_y: int, out_bits: int):
+        self.bq = bq
+        self.m0 = m0
+        shift = M0_FRACTIONAL_BITS - n0
+        # Same guard as icn._fixed_point_scale: divisor shift clamped to
+        # [0, 62], residual negative shift applied as a left shift.
+        self.rshift = np.minimum(np.maximum(shift, 0), 62)
+        self.lshift = np.maximum(-shift, 0)
+        self.z_y = int(z_y)
+        self.qmax = 2 ** out_bits - 1
+
+    def __call__(self, phi: np.ndarray) -> np.ndarray:
+        # ``phi`` is owned by the caller's layer and safe to mutate.
+        phi += self.bq
+        phi *= self.m0
+        np.right_shift(phi, self.rshift, out=phi)
+        np.left_shift(phi, self.lshift, out=phi)
+        phi += self.z_y
+        np.clip(phi, 0, self.qmax, out=phi)
+        return phi
+
+
+def _compile_icn_requant(params: ICNParams) -> _CompiledFixedPointRequant:
+    c_o = params.out_channels
+    return _CompiledFixedPointRequant(
+        bq=params.bq.reshape(1, c_o, 1),
+        m0=params.m0.reshape(1, c_o, 1),
+        n0=params.n0.reshape(1, c_o, 1),
+        z_y=params.z_y,
+        out_bits=params.out_bits,
+    )
+
+
+def _compile_folded_requant(params: FoldedBNParams) -> _CompiledFixedPointRequant:
+    return _CompiledFixedPointRequant(
+        bq=params.bq.reshape(1, -1, 1),
+        m0=np.int64(params.m0),
+        n0=np.int64(params.n0),
+        z_y=params.z_y,
+        out_bits=params.out_bits,
+    )
+
+
+class _CompiledThresholdRequant:
+    """Per-channel threshold tables pre-sliced/pre-reversed for searchsorted."""
+
+    def __init__(self, params: ThresholdParams):
+        self.levels = 2 ** params.out_bits
+        self.tables: List[tuple] = []
+        for c in range(params.thresholds.shape[0]):
+            th = params.thresholds[c, 1:]
+            if params.direction[c] > 0:
+                self.tables.append((np.ascontiguousarray(th), 1))
+            else:
+                self.tables.append((np.ascontiguousarray(th[::-1]), -1))
+
+    def __call__(self, phi: np.ndarray) -> np.ndarray:
+        out = np.empty_like(phi)
+        for c, (table, direction) in enumerate(self.tables):
+            vals = phi[:, c, :]
+            if direction > 0:
+                y = np.searchsorted(table, vals, side="right")
+            else:
+                y = self.levels - 1 - np.searchsorted(table, vals, side="left")
+            out[:, c, :] = np.clip(y, 0, self.levels - 1)
+        return out
+
+
+def _compile_requant(params):
+    if isinstance(params, ICNParams):
+        return _compile_icn_requant(params)
+    if isinstance(params, FoldedBNParams):
+        return _compile_folded_requant(params)
+    if isinstance(params, ThresholdParams):
+        return _CompiledThresholdRequant(params)
+    raise TypeError(f"unsupported requantization parameters {type(params)!r}")
+
+
+# ----------------------------------------------------------------------
+# Compiled layers
+# ----------------------------------------------------------------------
+class CompiledConvLayer:
+    """One conv/depthwise layer with all static state precomputed.
+
+    ``validate`` range-checks the weight codes once at compile time —
+    the same guard the interpreted engine applies on every forward, at
+    zero per-inference cost (and required for the float exactness bound,
+    which assumes codes within [0, 2^Q - 1]).
+    """
+
+    def __init__(self, layer, backend: str = "auto", validate: bool = True):
+        p = layer.params
+        self.name = layer.name
+        self.kind = layer.kind
+        self.stride = int(layer.stride)
+        self.padding = int(layer.padding)
+        self.in_bits = int(layer.in_bits)
+        self.out_bits = int(layer.out_bits)
+        self.w_bits = int(p.w_bits)
+        w = p.weights_q
+        if validate:
+            check_codes(f"{self.name} weight", w, self.w_bits)
+        self.kh, self.kw = int(w.shape[2]), int(w.shape[3])
+        self.out_channels = int(w.shape[0])
+        self.k_reduction = gemm_reduction_length(self.kind, w.shape)
+        self.backend = resolve_gemm_backend(
+            backend, self.k_reduction, self.in_bits, self.w_bits
+        )
+        self.z_x = int(p.z_x)
+        w2 = np.ascontiguousarray(
+            shift_weights(w, p.z_w, self.out_channels).reshape(self.out_channels, -1)
+        )
+        if self.backend == "blas":
+            self.gemm_dtype = blas_gemm_dtype(self.k_reduction, self.in_bits, self.w_bits)
+            self.w2 = w2.astype(self.gemm_dtype)
+            if self.kind == "dw":
+                self.w2 = np.ascontiguousarray(self.w2[:, None, :])  # (C, 1, kh*kw)
+        else:
+            self.gemm_dtype = np.int64
+            self.w2 = w2
+        self._einsum_path = None
+        self.requant = _compile_requant(p)
+
+    def _accumulate_int64(self, cols: np.ndarray) -> np.ndarray:
+        expr = "ck,nckl->ncl" if self.kind == "dw" else "ok,nkl->nol"
+        if self._einsum_path is None:
+            self._einsum_path = np.einsum_path(expr, self.w2, cols, optimize="optimal")[0]
+        return np.einsum(expr, self.w2, cols, optimize=self._einsum_path)
+
+    def _shift_pad(self, x_codes: np.ndarray, dtype) -> np.ndarray:
+        """Zero-point shift and zero-pad in a single allocation.
+
+        Writing ``x - Z_x`` straight into the interior of the padded
+        buffer fuses what the interpreted path does in two full-tensor
+        passes (``subtract`` then ``np.pad``).
+        """
+        p = self.padding
+        if p == 0:
+            return np.subtract(x_codes, self.z_x, dtype=dtype)
+        n, c, h, w = x_codes.shape
+        out = np.zeros((n, c, h + 2 * p, w + 2 * p), dtype=dtype)
+        np.subtract(x_codes, self.z_x, out=out[:, :, p:-p, p:-p])
+        return out
+
+    def __call__(self, x_codes: np.ndarray) -> np.ndarray:
+        n, c, h, w = x_codes.shape
+        oh = conv_output_size(h, self.kh, self.stride, self.padding)
+        ow = conv_output_size(w, self.kw, self.stride, self.padding)
+        if self.backend == "blas":
+            x_shift = self._shift_pad(x_codes, self.gemm_dtype)
+            cols = im2col(x_shift, self.kh, self.kw, self.stride, 0, contiguous=False)
+            if self.kind == "dw":
+                cols = cols.reshape(n, c, self.k_reduction, oh * ow)
+                phi = np.matmul(self.w2, cols).reshape(n, c, oh * ow)
+            else:
+                phi = np.matmul(self.w2, cols)
+            phi = phi.astype(np.int64)
+        else:
+            x_shift = self._shift_pad(x_codes, np.int64)
+            cols = im2col(x_shift, self.kh, self.kw, self.stride, 0, contiguous=False)
+            if self.kind == "dw":
+                cols = cols.reshape(n, c, self.k_reduction, oh * ow)
+            phi = self._accumulate_int64(cols)
+        return self.requant(phi).reshape(n, self.out_channels, oh, ow)
+
+
+class CompiledLinear:
+    """Compiled integer classifier: shifted/transposed weights and the
+    dequantization scale (``s_in * s_w``) are materialised once."""
+
+    def __init__(self, layer, backend: str = "auto", validate: bool = True):
+        self.name = layer.name
+        self.kind = "fc"
+        self.in_bits = int(layer.in_bits)
+        self.w_bits = int(layer.w_bits)
+        if validate:
+            check_codes(f"{self.name} weight", layer.weights_q, self.w_bits)
+        self.k_reduction = gemm_reduction_length("fc", layer.weights_q.shape)
+        self.out_channels = int(layer.weights_q.shape[0])
+        self.backend = resolve_gemm_backend(
+            backend, self.k_reduction, self.in_bits, self.w_bits
+        )
+        self.z_x = int(layer.z_x)
+        w_t = shift_weights(layer.weights_q, layer.z_w, self.out_channels).T
+        if self.backend == "blas":
+            self.gemm_dtype = blas_gemm_dtype(self.k_reduction, self.in_bits, self.w_bits)
+            self.w_t = np.ascontiguousarray(w_t.astype(self.gemm_dtype))
+        else:
+            self.gemm_dtype = np.int64
+            self.w_t = np.ascontiguousarray(w_t)
+        s_w = np.asarray(layer.s_w, dtype=np.float64).reshape(-1)
+        # Match IntegerLinearLayer.forward exactly: s_in * s_w is evaluated
+        # first there too (left-to-right), so hoisting it preserves ulps.
+        if s_w.size == 1:
+            self.scale = layer.s_in * float(s_w[0])
+        else:
+            self.scale = layer.s_in * s_w.reshape(1, -1)
+        self.bias = None if layer.bias is None else np.asarray(layer.bias, dtype=np.float64)
+
+    def __call__(self, x_codes: np.ndarray) -> np.ndarray:
+        if self.backend == "blas":
+            phi = np.subtract(x_codes, self.z_x, dtype=self.gemm_dtype) @ self.w_t
+            phi = phi.astype(np.float64)
+        else:
+            phi = (np.subtract(x_codes, self.z_x, dtype=np.int64) @ self.w_t).astype(np.float64)
+        logits = self.scale * phi
+        if self.bias is not None:
+            logits = logits + self.bias
+        return logits
+
+
+# ----------------------------------------------------------------------
+# Execution plan
+# ----------------------------------------------------------------------
+@dataclass
+class LayerPlanInfo:
+    """Static description of one compiled layer (for reports/export)."""
+
+    name: str
+    kind: str
+    backend: str
+    gemm_dtype: str
+    k_reduction: int
+    out_channels: int
+    in_bits: int
+    w_bits: int
+
+
+class ExecutionPlan:
+    """Compiled form of an :class:`~repro.inference.engine.IntegerNetwork`.
+
+    ``validate`` controls the boundary range check on incoming codes and
+    a one-time weight-code check at compile time; the per-call per-layer
+    scans of the interpreted engine never run inside the plan.
+    """
+
+    def __init__(self, network, backend: str = "auto", validate: bool = True):
+        self.validate = bool(validate)
+        self.input_scale = float(network.input_scale)
+        self.input_zero_point = int(network.input_zero_point)
+        self.input_bits = int(network.input_bits)
+        self.layers: List[CompiledConvLayer] = [
+            CompiledConvLayer(l, backend=backend, validate=self.validate)
+            for l in network.conv_layers
+        ]
+        self.has_pool = network.pool is not None
+        self.classifier: Optional[CompiledLinear] = (
+            None if network.classifier is None
+            else CompiledLinear(network.classifier, backend=backend, validate=self.validate)
+        )
+
+    # -- input boundary ------------------------------------------------
+    def quantize_input(self, x_real: np.ndarray) -> np.ndarray:
+        """Quantize a real NCHW image batch into input codes (same
+        boundary quantizer as the interpreted engine)."""
+        return quantize_input_codes(
+            x_real, self.input_scale, self.input_zero_point, self.input_bits
+        )
+
+    # -- execution -----------------------------------------------------
+    def run_codes(self, x_codes: np.ndarray, validate: Optional[bool] = None) -> np.ndarray:
+        """Run the convolutional trunk on integer codes; returns codes."""
+        if self.validate if validate is None else validate:
+            check_codes("input activation", x_codes, self.input_bits)
+        for layer in self.layers:
+            x_codes = layer(x_codes)
+        return x_codes
+
+    def run(self, x_real: np.ndarray) -> np.ndarray:
+        """End-to-end inference from a real image batch to real logits."""
+        codes = self.quantize_input(x_real)
+        # quantize_input clips into range, so the boundary check is moot here.
+        codes = self.run_codes(codes, validate=False)
+        if self.has_pool:
+            codes = int_avg_pool_global(codes)
+        if self.classifier is not None:
+            return self.classifier(codes)
+        return codes.astype(np.float64)
+
+    def run_batched(self, x_real: np.ndarray, batch_size: int = 32) -> np.ndarray:
+        """Stream a large sweep through the plan in fixed-size tiles.
+
+        Peak memory is bounded by one tile's activations instead of the
+        whole sweep's, which is what the evaluation entry points use for
+        dataset-sized inputs.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        x_real = np.asarray(x_real)
+        n = x_real.shape[0]
+        if n <= batch_size:
+            return self.run(x_real)
+        outs = [self.run(x_real[i:i + batch_size]) for i in range(0, n, batch_size)]
+        return np.concatenate(outs, axis=0)
+
+    def predict(self, x_real: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
+        """Class predictions for a real image batch (optionally tiled)."""
+        if batch_size is None:
+            return np.argmax(self.run(x_real), axis=1)
+        return np.argmax(self.run_batched(x_real, batch_size=batch_size), axis=1)
+
+    # -- introspection -------------------------------------------------
+    def layer_info(self) -> Sequence[LayerPlanInfo]:
+        infos = [
+            LayerPlanInfo(l.name, l.kind, l.backend, np.dtype(l.gemm_dtype).name,
+                          l.k_reduction, l.out_channels, l.in_bits, l.w_bits)
+            for l in self.layers
+        ]
+        if self.classifier is not None:
+            c = self.classifier
+            infos.append(
+                LayerPlanInfo(c.name, c.kind, c.backend, np.dtype(c.gemm_dtype).name,
+                              c.k_reduction, c.out_channels, c.in_bits, c.w_bits)
+            )
+        return infos
+
+    def describe(self) -> str:
+        """Human-readable per-layer dispatch summary."""
+        lines = [f"{'layer':<16} {'kind':<5} {'backend':<7} {'dtype':<8} {'k':>6} {'c_out':>6}"]
+        for info in self.layer_info():
+            lines.append(
+                f"{info.name:<16} {info.kind:<5} {info.backend:<7} {info.gemm_dtype:<8} "
+                f"{info.k_reduction:>6} {info.out_channels:>6}"
+            )
+        return "\n".join(lines)

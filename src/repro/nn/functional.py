@@ -23,8 +23,18 @@ def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
     return (size + 2 * pad - kernel) // stride + 1
 
 
-def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
-    """Unfold ``x`` (N, C, H, W) into columns of shape (N, C*kh*kw, OH*OW)."""
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int, contiguous: bool = True
+) -> np.ndarray:
+    """Unfold ``x`` (N, C, H, W) into columns of shape (N, C*kh*kw, OH*OW).
+
+    With ``contiguous=False`` the result is not forced into a fresh
+    C-contiguous buffer: for 1x1 kernels the reshape is a pure view of the
+    input, and consumers that accept strided arrays (``einsum``,
+    ``matmul``) skip one full copy of the unfolded tensor.  Overlapping
+    kernels still copy inside ``reshape`` (the strided view cannot be
+    reshaped in place), so the flag only elides the redundant second copy.
+    """
     n, c, h, w = x.shape
     oh = conv_output_size(h, kh, stride, pad)
     ow = conv_output_size(w, kw, stride, pad)
@@ -39,7 +49,9 @@ def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray
         writeable=False,
     )
     cols = view.reshape(n, c * kh * kw, oh * ow)
-    return np.ascontiguousarray(cols)
+    if contiguous:
+        return np.ascontiguousarray(cols)
+    return cols
 
 
 def col2im(
@@ -100,7 +112,7 @@ def conv2d_forward(
         raise ValueError(f"input channels {c_in} != weight channels {c_in_w}")
     oh = conv_output_size(h, kh, stride, pad)
     ow = conv_output_size(w, kw, stride, pad)
-    cols = im2col(x, kh, kw, stride, pad)  # (N, C*kh*kw, OH*OW)
+    cols = im2col(x, kh, kw, stride, pad, contiguous=False)  # (N, C*kh*kw, OH*OW)
     w2 = weight.reshape(c_out, -1)  # (C_out, C*kh*kw)
     out = np.einsum("ok,nkl->nol", w2, cols, optimize=True)
     if bias is not None:
@@ -152,7 +164,7 @@ def depthwise_conv2d_forward(
         raise ValueError(f"depthwise weight shape {weight.shape} incompatible with input channels {c}")
     oh = conv_output_size(h, kh, stride, pad)
     ow = conv_output_size(w, kw, stride, pad)
-    cols = im2col(x, kh, kw, stride, pad).reshape(n, c, kh * kw, oh * ow)
+    cols = im2col(x, kh, kw, stride, pad, contiguous=False).reshape(n, c, kh * kw, oh * ow)
     w2 = weight.reshape(c, kh * kw)
     out = np.einsum("ck,nckl->ncl", w2, cols, optimize=True)
     if bias is not None:

@@ -1,0 +1,177 @@
+"""Property-based equivalence of the GEMM backends.
+
+The float BLAS fast path must be bit-identical to the int64 einsum
+reference for every operand regime the paper deploys: all bit-width
+pairs in {2, 4, 8} x {2, 4, 8}, strides, paddings, and per-layer or
+per-channel weight zero points.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.inference.kernels import (
+    FLOAT32_EXACT_BITS,
+    FLOAT64_EXACT_BITS,
+    blas_gemm_dtype,
+    blas_gemm_is_exact,
+    int_conv2d,
+    int_depthwise_conv2d,
+    int_linear,
+    max_abs_accumulator,
+    resolve_gemm_backend,
+)
+
+BITS = st.sampled_from([2, 4, 8])
+
+
+def _codes(rng, shape, bits):
+    return rng.integers(0, 2 ** bits, size=shape)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    x_bits=BITS,
+    w_bits=BITS,
+    stride=st.integers(1, 3),
+    padding=st.integers(0, 2),
+    per_channel=st.booleans(),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_conv_blas_matches_int64(x_bits, w_bits, stride, padding, per_channel, seed):
+    rng = np.random.default_rng(seed)
+    c_in = int(rng.integers(1, 5))
+    c_out = int(rng.integers(1, 7))
+    kh = int(rng.integers(1, 4))
+    hw = int(rng.integers(kh, 10))
+    x = _codes(rng, (2, c_in, hw, hw), x_bits)
+    w = _codes(rng, (c_out, c_in, kh, kh), w_bits)
+    z_x = int(rng.integers(0, 2 ** x_bits))
+    z_w = _codes(rng, c_out, w_bits) if per_channel else int(rng.integers(0, 2 ** w_bits))
+    kwargs = dict(stride=stride, padding=padding, x_bits=x_bits, w_bits=w_bits)
+    phi_blas = int_conv2d(x, w, z_x, z_w, backend="blas", **kwargs)
+    phi_ref = int_conv2d(x, w, z_x, z_w, backend="int64", **kwargs)
+    assert phi_blas.dtype == np.int64
+    assert np.array_equal(phi_blas, phi_ref)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    x_bits=BITS,
+    w_bits=BITS,
+    stride=st.integers(1, 3),
+    padding=st.integers(0, 2),
+    per_channel=st.booleans(),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_depthwise_blas_matches_int64(x_bits, w_bits, stride, padding, per_channel, seed):
+    rng = np.random.default_rng(seed)
+    c = int(rng.integers(1, 6))
+    kh = int(rng.integers(1, 4))
+    hw = int(rng.integers(kh, 10))
+    x = _codes(rng, (2, c, hw, hw), x_bits)
+    w = _codes(rng, (c, 1, kh, kh), w_bits)
+    z_x = int(rng.integers(0, 2 ** x_bits))
+    z_w = _codes(rng, c, w_bits) if per_channel else int(rng.integers(0, 2 ** w_bits))
+    kwargs = dict(stride=stride, padding=padding, x_bits=x_bits, w_bits=w_bits)
+    phi_blas = int_depthwise_conv2d(x, w, z_x, z_w, backend="blas", **kwargs)
+    phi_ref = int_depthwise_conv2d(x, w, z_x, z_w, backend="int64", **kwargs)
+    assert np.array_equal(phi_blas, phi_ref)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    x_bits=BITS,
+    w_bits=BITS,
+    per_channel=st.booleans(),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_linear_blas_matches_int64(x_bits, w_bits, per_channel, seed):
+    rng = np.random.default_rng(seed)
+    n_in = int(rng.integers(1, 40))
+    n_out = int(rng.integers(1, 12))
+    x = _codes(rng, (3, n_in), x_bits)
+    w = _codes(rng, (n_out, n_in), w_bits)
+    z_x = int(rng.integers(0, 2 ** x_bits))
+    z_w = _codes(rng, n_out, w_bits) if per_channel else int(rng.integers(0, 2 ** w_bits))
+    phi_blas = int_linear(x, w, z_x, z_w, x_bits=x_bits, w_bits=w_bits, backend="blas")
+    phi_ref = int_linear(x, w, z_x, z_w, x_bits=x_bits, w_bits=w_bits, backend="int64")
+    assert np.array_equal(phi_blas, phi_ref)
+
+
+@settings(max_examples=40, deadline=None)
+@given(x_bits=BITS, w_bits=BITS, seed=st.integers(0, 2 ** 16))
+def test_auto_backend_matches_reference(x_bits, w_bits, seed):
+    """backend='auto' (the engine default) is bit-identical to the reference."""
+    rng = np.random.default_rng(seed)
+    x = _codes(rng, (1, 3, 6, 6), x_bits)
+    w = _codes(rng, (4, 3, 3, 3), w_bits)
+    phi_auto = int_conv2d(x, w, 1, 1, padding=1, x_bits=x_bits, w_bits=w_bits, backend="auto")
+    phi_ref = int_conv2d(x, w, 1, 1, padding=1, x_bits=x_bits, w_bits=w_bits, backend="int64")
+    assert np.array_equal(phi_auto, phi_ref)
+
+
+class TestExactnessBound:
+    def test_bound_formula(self):
+        assert max_abs_accumulator(9, 8, 8) == 9 * 255 * 255
+
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_paper_regimes_are_exact(self, bits):
+        # Largest reduction in MobileNetV1_224_1.0 is the fc layer (k=1024).
+        assert blas_gemm_is_exact(1024, bits, bits)
+
+    def test_bound_rejects_wide_operands(self):
+        # 32-bit operands overflow the float64 significand even at k=10.
+        assert not blas_gemm_is_exact(10, 32, 32)
+        assert resolve_gemm_backend("auto", 10, 32, 32) == "int64"
+
+    def test_forced_blas_raises_when_not_exact(self):
+        with pytest.raises(ValueError, match="not exact"):
+            resolve_gemm_backend("blas", 10, 32, 32)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown GEMM backend"):
+            resolve_gemm_backend("fast", 9, 8, 8)
+
+    def test_kernel_falls_back_when_bound_exceeded(self):
+        """auto on 32-bit operands silently takes the int64 path."""
+        rng = np.random.default_rng(0)
+        assert resolve_gemm_backend("auto", 2 * 9, 32, 32) == "int64"
+        x = rng.integers(0, 2 ** 32, size=(1, 2, 4, 4))
+        w = rng.integers(0, 2 ** 32, size=(2, 2, 3, 3))
+        phi = int_conv2d(x, w, 0, 0, x_bits=32, w_bits=32, backend="auto")
+        ref = int_conv2d(x, w, 0, 0, x_bits=32, w_bits=32, backend="int64")
+        assert np.array_equal(phi, ref)
+
+    def test_dtype_tiering(self):
+        # Depthwise 8x8 (k=9) fits float32; a 1024-wide 8x8 reduction needs float64.
+        assert blas_gemm_dtype(9, 8, 8) == np.float32
+        assert blas_gemm_dtype(1024, 8, 8) == np.float64
+        assert max_abs_accumulator(9, 8, 8) < 2 ** FLOAT32_EXACT_BITS
+        assert max_abs_accumulator(1024, 8, 8) < 2 ** FLOAT64_EXACT_BITS
+
+    def test_float32_tier_boundary_is_exact(self):
+        """k just below the float32 cutoff still matches the reference."""
+        rng = np.random.default_rng(1)
+        # k = 256 channels of 1x1: 256 * 255 * 255 < 2^24, the largest
+        # 8x8-bit reduction the float32 tier accepts.
+        assert blas_gemm_dtype(256, 8, 8) == np.float32
+        x = np.full((1, 256, 3, 3), 255, dtype=np.int64)
+        w = np.full((4, 256, 1, 1), 255, dtype=np.int64)
+        phi = int_conv2d(x, w, 0, 0, x_bits=8, w_bits=8, backend="blas")
+        ref = int_conv2d(x, w, 0, 0, x_bits=8, w_bits=8, backend="int64")
+        assert np.array_equal(phi, ref)
+
+
+class TestValidationFlag:
+    def test_validation_on_by_default(self):
+        x = np.full((1, 1, 3, 3), 300, dtype=np.int64)
+        w = np.zeros((1, 1, 3, 3), dtype=np.int64)
+        with pytest.raises(ValueError, match="out of UINT8 range"):
+            int_conv2d(x, w, 0, 0, x_bits=8)
+
+    def test_validation_opt_out_skips_scan(self):
+        x = np.full((1, 1, 3, 3), 300, dtype=np.int64)
+        w = np.zeros((1, 1, 3, 3), dtype=np.int64)
+        phi = int_conv2d(x, w, 0, 0, x_bits=8, validate=False)
+        assert phi.shape == (1, 1, 1, 1)
