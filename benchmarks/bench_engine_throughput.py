@@ -1,16 +1,26 @@
 """E9 — throughput of the compiled inference engine vs. the seed
 interpreted int64-einsum path on a MobileNetV1 deployment graph.
 
-Records imgs/sec end to end plus a per-layer latency breakdown, and
-asserts both the bit-exactness of the compiled+BLAS outputs against the
-int64 reference and the headline speedup of the engine rework.
+Three measurements:
+
+* E9  — end-to-end + per-layer latency of the arena/auto-dispatch plan
+  against both the interpreted seed and the PR-1 im2col compiled plan,
+  asserting bit-exactness and the headline speedup;
+* E9a — the depthwise-dominated regime (the paper's flagship 224_1.0
+  geometry, where the kh*kw-fold im2col copy blows the cache): the fused
+  stencil layers must beat the im2col plan >= 1.5x on those layers;
+* E9b — a streamed ``run_batched`` sweep whose measured peak allocation
+  must stay inside the compile-time activation-arena plan reported by
+  ``ExecutionPlan.describe()``.
 """
 
 import time
+import tracemalloc
 
 import numpy as np
 
 from repro.evaluation.tables import render_table
+from repro.inference.kernels import depthwise_prefers_stencil
 from repro.inference.testing import integer_network_from_spec
 from repro.models.model_zoo import mobilenet_v1_spec
 
@@ -33,67 +43,170 @@ def test_benchmark_engine_throughput(record_report):
     spec = mobilenet_v1_spec(RESOLUTION, WIDTH, num_classes=NUM_CLASSES)
     net = integer_network_from_spec(spec, np.random.default_rng(0))
     x = np.random.default_rng(1).uniform(0, 1, size=(BATCH, 3, RESOLUTION, RESOLUTION))
-    plan = net.compile()
+    plan = net.compile(input_hw=(RESOLUTION, RESOLUTION))
+    plan_pr1 = net.compile(use_arena=False, fused_depthwise=False)  # PR-1 engine
 
-    # Bit-exactness of the fast path against the seed int64 reference.
+    # Bit-exactness of both compiled generations vs. the int64 reference.
     ref_logits = net.forward(x)
     fast_logits = plan.run(x)
     assert np.array_equal(ref_logits, fast_logits), "compiled engine diverged from int64 reference"
+    assert np.array_equal(ref_logits, plan_pr1.run(x))
     assert np.array_equal(fast_logits, plan.run_batched(x, batch_size=3))
 
     t_seed = _best_of(lambda: net.forward(x))
     t_plan = _best_of(lambda: plan.run(x))
+    t_pr1 = _best_of(lambda: plan_pr1.run(x))
     speedup = t_seed / t_plan
 
-    # Per-layer latency breakdown on the propagated intermediate codes.
+    # Per-layer latency on the propagated intermediate codes: seed vs.
+    # PR-1 im2col plan vs. arena/auto plan.
     rows = []
     codes = plan.quantize_input(x)
+    arena = plan.arena_for((RESOLUTION, RESOLUTION))
+    arena.ensure(BATCH)
     infos = {i.name: i for i in plan.layer_info()}
-    for compiled_layer, ref_layer in zip(plan.layers, net.conv_layers):
+    for new_layer, pr1_layer, ref_layer in zip(plan.layers, plan_pr1.layers, net.conv_layers):
         t_l_seed = _best_of(lambda: ref_layer.forward(codes))
-        t_l_plan = _best_of(lambda: compiled_layer(codes.copy()))
-        info = infos[compiled_layer.name]
+        t_l_pr1 = _best_of(lambda: pr1_layer(codes.copy()))
+        t_l_new = _best_of(lambda: new_layer(codes, arena=arena, slot=0))
+        info = infos[new_layer.name]
+        dispatch = f"{info.backend}/{info.gemm_dtype}"
+        if info.dw_mode:
+            dispatch += f" dw:{info.dw_mode}"
         rows.append([
-            compiled_layer.name,
-            compiled_layer.kind,
-            f"{info.backend}/{info.gemm_dtype}",
+            new_layer.name,
+            new_layer.kind,
+            dispatch,
             round(t_l_seed * 1e3, 2),
-            round(t_l_plan * 1e3, 2),
-            round(t_l_seed / t_l_plan, 1),
+            round(t_l_pr1 * 1e3, 2),
+            round(t_l_new * 1e3, 2),
+            round(t_l_seed / t_l_new, 1),
         ])
-        codes = compiled_layer(codes)
+        codes = pr1_layer(codes)  # propagate via owned (non-arena) arrays
     rows.append([
         "TOTAL", "", "",
-        round(t_seed * 1e3, 2), round(t_plan * 1e3, 2), round(speedup, 1),
+        round(t_seed * 1e3, 2), round(t_pr1 * 1e3, 2), round(t_plan * 1e3, 2),
+        round(speedup, 1),
     ])
 
     report = render_table(
-        ["Layer", "Kind", "Dispatch", "Seed ms", "Compiled ms", "Speedup"],
+        ["Layer", "Kind", "Dispatch", "Seed ms", "PR-1 ms", "Arena ms", "Speedup"],
         rows,
         title=(
             f"E9 — MobileNetV1 {RESOLUTION}_{WIDTH} batch={BATCH}: "
             f"{BATCH / t_seed:.1f} -> {BATCH / t_plan:.1f} imgs/sec "
-            f"({speedup:.1f}x, bit-exact)"
+            f"({speedup:.1f}x vs seed, bit-exact; arena "
+            f"{arena.planned_bytes(BATCH)} B planned)"
         ),
     )
     record_report("engine_throughput", report)
 
     assert speedup >= 5.0, f"compiled engine speedup {speedup:.2f}x below the 5x target"
+    # The arena/auto plan must not regress the PR-1 engine end to end.
+    # Generous headroom: best-of-3 on a shared machine jitters ~10-20%,
+    # and this guard is for gross regressions, not single-digit drift.
+    assert t_plan <= 1.3 * t_pr1, (
+        f"arena plan {t_plan * 1e3:.1f} ms regressed vs PR-1 {t_pr1 * 1e3:.1f} ms"
+    )
+
+
+def test_benchmark_depthwise_fused_speedup(record_report):
+    """E9a — depthwise-dominated regime (flagship 224_1.0 geometry).
+
+    At this scale a depthwise layer's im2col column tensor is tens to
+    hundreds of MB — far past cache — which is exactly the "depthwise
+    layers are memory-bound" headroom the roadmap records.  The auto
+    dispatch routes those layers to the fused stencil; they must beat
+    the PR-1 im2col path >= 1.5x in aggregate, bit-exactly.
+    """
+    res, batch = 224, 6
+    spec = mobilenet_v1_spec(res, 1.0, num_classes=NUM_CLASSES)
+    net = integer_network_from_spec(spec, np.random.default_rng(0))
+    x = np.random.default_rng(1).uniform(0, 1, size=(batch, 3, res, res))
+    plan = net.compile(input_hw=(res, res))
+    plan_pr1 = net.compile(use_arena=False, fused_depthwise=False)
+    assert np.array_equal(plan.run(x), plan_pr1.run(x)), "fused/auto plan diverged"
+
+    rows = []
+    codes = plan.quantize_input(x)
+    arena = plan.arena_for((res, res))
+    arena.ensure(batch)
+    t_stencil_new = t_stencil_pr1 = 0.0
+    stencil_layers = 0
+    for new_layer, pr1_layer in zip(plan.layers, plan_pr1.layers):
+        if new_layer.kind == "dw":
+            n, c, h, w = codes.shape
+            oh = (h + 2 * new_layer.padding - new_layer.kh) // new_layer.stride + 1
+            fused = depthwise_prefers_stencil(
+                n, c, new_layer.kh, new_layer.kw, oh, oh,
+                new_layer.gemm_itemsize, stride=new_layer.stride,
+            )
+            t_l_pr1 = _best_of(lambda: pr1_layer(codes))
+            t_l_new = _best_of(lambda: new_layer(codes, arena=arena, slot=0))
+            if fused:
+                stencil_layers += 1
+                t_stencil_new += t_l_new
+                t_stencil_pr1 += t_l_pr1
+            rows.append([
+                new_layer.name,
+                "stencil" if fused else "im2col",
+                round(t_l_pr1 * 1e3, 2),
+                round(t_l_new * 1e3, 2),
+                round(t_l_pr1 / t_l_new, 2),
+            ])
+        codes = new_layer(codes)  # propagate without the arena (owned arrays)
+    dw_speedup = t_stencil_pr1 / t_stencil_new
+
+    report = render_table(
+        ["Layer", "Auto path", "PR-1 im2col ms", "Arena/auto ms", "Speedup"],
+        rows + [["STENCIL TOTAL", f"{stencil_layers} layers",
+                 round(t_stencil_pr1 * 1e3, 2), round(t_stencil_new * 1e3, 2),
+                 round(dw_speedup, 2)]],
+        title=(
+            f"E9a — MobileNetV1 {res}_1.0 batch={batch} depthwise layers: "
+            f"fused stencil {dw_speedup:.2f}x over im2col on the "
+            f"memory-bound layers (bit-exact)"
+        ),
+    )
+    record_report("engine_depthwise_fused", report)
+
+    assert stencil_layers >= 2, "auto dispatch engaged on too few dw layers"
+    assert dw_speedup >= 1.5, (
+        f"fused depthwise speedup {dw_speedup:.2f}x below the 1.5x target"
+    )
 
 
 def test_benchmark_batched_sweep_throughput(record_report):
-    """Streaming a sweep through run_batched sustains the compiled rate."""
-    spec = mobilenet_v1_spec(96, 0.25, num_classes=NUM_CLASSES)
+    """E9b — streaming a sweep through run_batched sustains the compiled
+    rate inside the compile-time activation-memory plan."""
+    res = 96
+    spec = mobilenet_v1_spec(res, 0.25, num_classes=NUM_CLASSES)
     net = integer_network_from_spec(spec, np.random.default_rng(0))
-    plan = net.compile()
-    sweep = np.random.default_rng(2).uniform(0, 1, size=(64, 3, 96, 96))
+    plan = net.compile(input_hw=(res, res))
+    sweep = np.random.default_rng(2).uniform(0, 1, size=(64, 3, res, res))
 
     t_sweep = _best_of(lambda: plan.run_batched(sweep, batch_size=8), reps=2)
     rate = sweep.shape[0] / t_sweep
+
+    # Two-part bound (the whole point of the ping-pong scheme: batch >>
+    # RAM never exceeds the planned peak).  The slabs themselves must be
+    # exactly the compile-time plan, and a warm steady-state sweep must
+    # not allocate more new memory on top of them than that plan.
+    arena = plan.arena_for((res, res))
+    planned = arena.planned_bytes(8)
+    assert arena.allocated_bytes == planned, "arena slabs diverged from the plan"
+    tracemalloc.start()
+    plan.run_batched(sweep, batch_size=8)
+    _, measured_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert measured_peak <= planned, (
+        f"run_batched peak {measured_peak} B exceeded planned arena {planned} B"
+    )
+
     report = render_table(
-        ["Sweep images", "Tile", "Seconds", "imgs/sec"],
-        [[sweep.shape[0], 8, round(t_sweep, 3), round(rate, 1)]],
-        title="E9b — batched evaluation sweep through the compiled plan",
+        ["Sweep images", "Tile", "Seconds", "imgs/sec", "Planned arena B", "Measured peak B"],
+        [[sweep.shape[0], 8, round(t_sweep, 3), round(rate, 1), planned, measured_peak]],
+        title="E9b — batched evaluation sweep through the arena-backed plan",
     )
     record_report("engine_sweep_throughput", report)
     assert rate > 0

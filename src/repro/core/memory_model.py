@@ -89,10 +89,23 @@ def layer_ro_bytes(layer: LayerSpec, policy: LayerPolicy, method: QuantMethod) -
     )
 
 
+def activation_rw_bytes(
+    in_count: int, q_in: int, out_count: int, q_out: int
+) -> int:
+    """Eq. 7 RW term for one layer: packed input + output activation bytes.
+
+    The single formula shared by this analytical model and the compiled
+    plan's activation arena (:mod:`repro.inference.arena`), so the
+    runtime's planned peak and the paper's memory model cannot drift.
+    """
+    return tensor_bytes(in_count, q_in) + tensor_bytes(out_count, q_out)
+
+
 def layer_rw_bytes(layer: LayerSpec, policy: LayerPolicy) -> int:
     """Read-write footprint of one layer: input + output activations (Eq. 7)."""
-    return tensor_bytes(layer.input_activation_count, policy.q_in) + tensor_bytes(
-        layer.output_activation_count, policy.q_out
+    return activation_rw_bytes(
+        layer.input_activation_count, policy.q_in,
+        layer.output_activation_count, policy.q_out,
     )
 
 

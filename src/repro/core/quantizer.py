@@ -83,6 +83,11 @@ def compute_affine_params(
     # constant value exactly on the grid.
     fallback = np.maximum(np.abs(a), 1.0) / (spec.levels - 1)
     scale = np.where(span > 0, span / (spec.levels - 1), fallback)
+    # A positive but subnormal span can still underflow to scale == 0 in
+    # the division above; such a range is indistinguishable from constant
+    # at float64 resolution, so it takes the constant-range fallback too
+    # (otherwise the zero-point divide produces NaN -> INT64_MIN codes).
+    scale = np.where(scale > 0, scale, fallback)
     # Zero-point such that real value `a` maps to qmin exactly.  It is not
     # clamped to the code range: ranges that exclude zero (legal for
     # weights in principle) keep an out-of-range offset rather than a

@@ -5,8 +5,10 @@ from repro.inference.packing import pack_subbyte, unpack_subbyte, packed_size_by
 from repro.inference.int_tensor import QuantizedTensor
 from repro.inference.kernels import (
     blas_gemm_is_exact,
+    depthwise_stencil_accumulate,
     int_conv2d,
     int_depthwise_conv2d,
+    int_depthwise_conv2d_fused,
     int_linear,
     max_abs_accumulator,
     resolve_gemm_backend,
@@ -16,6 +18,13 @@ from repro.inference.engine import (
     IntegerLinearLayer,
     IntegerAvgPool,
     IntegerNetwork,
+)
+from repro.inference.arena import (
+    ActivationArena,
+    LayerActivationPlan,
+    LayerGeometry,
+    logical_rw_peak_bytes,
+    plan_activations,
 )
 from repro.inference.plan import ExecutionPlan, LayerPlanInfo
 from repro.inference.export import export_network, deployment_size_bytes
@@ -28,13 +37,20 @@ __all__ = [
     "blas_gemm_is_exact",
     "max_abs_accumulator",
     "resolve_gemm_backend",
+    "depthwise_stencil_accumulate",
     "int_conv2d",
     "int_depthwise_conv2d",
+    "int_depthwise_conv2d_fused",
     "int_linear",
     "IntegerConvLayer",
     "IntegerLinearLayer",
     "IntegerAvgPool",
     "IntegerNetwork",
+    "ActivationArena",
+    "LayerActivationPlan",
+    "LayerGeometry",
+    "logical_rw_peak_bytes",
+    "plan_activations",
     "ExecutionPlan",
     "LayerPlanInfo",
     "export_network",

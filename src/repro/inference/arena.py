@@ -1,0 +1,355 @@
+"""Static activation memory arena for the compiled :class:`ExecutionPlan`.
+
+The paper's RW-memory model (Table 1, Eq. 7) assumes an output-stationary
+dataflow: while one layer executes, exactly one input/output activation
+pair is alive, and the binding RAM term is the *maximum over layers* of
+that pair's packed size.  The seed engine (and the PR-1 compiled plan)
+instead allocated fresh activation and scratch buffers on every layer of
+every call, so host peak memory tracked allocator behaviour rather than
+the model.
+
+This module plans that behaviour statically, at compile time:
+
+* :func:`plan_activations` cascades the input geometry through the layer
+  stack once and records, per layer, the activation shapes plus every
+  scratch buffer the compiled kernels need (padded/shifted input, im2col
+  columns or fused-stencil tap temporary, GEMM accumulator);
+* :class:`ActivationArena` turns that plan into four preallocated slabs —
+  a ping-pong pair of int64 code buffers (the Eq. 7 input/output pair)
+  and pad/cols/acc scratch — each sized to the worst layer, reused by
+  every subsequent call;
+* :func:`logical_rw_peak_bytes` evaluates the *paper's* Eq. 7 over the
+  same per-layer plan, using the identical packed-tensor formula as
+  :mod:`repro.core.memory_model` (imported, not reimplemented), so the
+  arena and the analytical model cannot drift — the tests assert the two
+  agree layer for layer on every model-zoo spec.
+
+Buffers are raw ``uint8`` slabs viewed at the per-layer GEMM dtype, so a
+float32-tier depthwise layer and a float64 pointwise layer share the same
+storage.  ``ensure(batch)`` grows the slabs monotonically; the planned
+peak for a given tile size is exact and is what ``run_batched`` is
+bounded by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.memory_model import activation_rw_bytes
+from repro.inference.kernels import (
+    blas_gemm_dtype,
+    blas_gemm_is_exact,
+    gemm_reduction_length,
+)
+from repro.nn.functional import conv_output_size
+
+_INT64_BYTES = np.dtype(np.int64).itemsize
+
+
+@dataclass(frozen=True)
+class LayerGeometry:
+    """Static geometry of one layer, as needed for activation planning.
+
+    Decoupled from the compiled layer objects so the deployment export
+    can plan activations for a serialised network without compiling it.
+    """
+
+    name: str
+    kind: str  # "conv" | "pw" | "dw" | "fc"
+    in_channels: int
+    out_channels: int
+    kh: int
+    kw: int
+    stride: int
+    padding: int
+    in_bits: int
+    out_bits: int
+    gemm_itemsize: int  # bytes per scratch element (float32/float64/int64)
+    fused: bool  # depthwise stencil path (no im2col columns)
+
+    @classmethod
+    def from_compiled(cls, layer) -> "LayerGeometry":
+        """Geometry of a compiled conv/dw/pw layer (plan.CompiledConvLayer)."""
+        return cls(
+            name=layer.name,
+            kind=layer.kind,
+            in_channels=layer.in_channels,
+            out_channels=layer.out_channels,
+            kh=layer.kh,
+            kw=layer.kw,
+            stride=layer.stride,
+            padding=layer.padding,
+            in_bits=layer.in_bits,
+            out_bits=layer.out_bits,
+            gemm_itemsize=np.dtype(layer.gemm_dtype).itemsize,
+            fused=getattr(layer, "fused", False),
+        )
+
+    @classmethod
+    def from_weights(
+        cls,
+        name: str,
+        kind: str,
+        weight_shape: Sequence[int],
+        stride: int,
+        padding: int,
+        in_bits: int,
+        w_bits: int,
+        out_bits: int,
+        fused_depthwise: bool = True,
+    ) -> "LayerGeometry":
+        """Geometry from a raw weight shape, using the auto GEMM dispatch
+        (what a fresh ``compile()`` of the network would pick)."""
+        if kind == "fc":
+            c_in, c_out = int(weight_shape[1]), int(weight_shape[0])
+            kh = kw = 1
+        elif kind == "dw":
+            c_in = c_out = int(weight_shape[0])
+            kh, kw = int(weight_shape[2]), int(weight_shape[3])
+        else:
+            c_out, c_in = int(weight_shape[0]), int(weight_shape[1])
+            kh, kw = int(weight_shape[2]), int(weight_shape[3])
+        k = gemm_reduction_length(kind, weight_shape)
+        if blas_gemm_is_exact(k, in_bits, w_bits):
+            itemsize = np.dtype(blas_gemm_dtype(k, in_bits, w_bits)).itemsize
+        else:
+            itemsize = _INT64_BYTES
+        return cls(
+            name=name,
+            kind=kind,
+            in_channels=c_in,
+            out_channels=c_out,
+            kh=kh,
+            kw=kw,
+            stride=int(stride),
+            padding=int(padding),
+            in_bits=int(in_bits),
+            out_bits=int(out_bits),
+            gemm_itemsize=itemsize,
+            fused=fused_depthwise and kind == "dw",
+        )
+
+
+@dataclass(frozen=True)
+class LayerActivationPlan:
+    """Resolved per-layer activation/scratch footprint (per batch element).
+
+    ``pad_elems``/``cols_elems``/``acc_elems`` are the host scratch
+    buffers of the compiled kernels; ``in_shape``/``out_shape`` are the
+    logical activation tensors of the paper's Eq. 7.
+    """
+
+    name: str
+    kind: str
+    in_shape: Tuple[int, int, int]  # (C, H, W)
+    out_shape: Tuple[int, int, int]
+    in_bits: int
+    out_bits: int
+    pad_elems: int
+    cols_elems: int
+    acc_elems: int
+    gemm_itemsize: int
+
+    @property
+    def in_elems(self) -> int:
+        c, h, w = self.in_shape
+        return c * h * w
+
+    @property
+    def out_elems(self) -> int:
+        c, h, w = self.out_shape
+        return c * h * w
+
+    @property
+    def rw_bytes(self) -> int:
+        """Eq. 7 RW term of this layer: packed input + output activations."""
+        return activation_rw_bytes(
+            self.in_elems, self.in_bits, self.out_elems, self.out_bits
+        )
+
+
+def plan_activations(
+    geometries: Sequence[LayerGeometry], input_hw: Tuple[int, int]
+) -> List[LayerActivationPlan]:
+    """Cascade ``input_hw`` through the layer stack and size every buffer.
+
+    The trailing ``"fc"`` geometry (if any) is planned after an implicit
+    global average pool, i.e. at spatial size 1x1 — matching both the
+    deployment graph and the model-zoo :class:`LayerSpec` convention.
+    """
+    h, w = int(input_hw[0]), int(input_hw[1])
+    plans: List[LayerActivationPlan] = []
+    for g in geometries:
+        if g.kind == "fc":
+            plans.append(
+                LayerActivationPlan(
+                    name=g.name,
+                    kind="fc",
+                    in_shape=(g.in_channels, 1, 1),
+                    out_shape=(g.out_channels, 1, 1),
+                    in_bits=g.in_bits,
+                    out_bits=g.out_bits,
+                    pad_elems=0,
+                    cols_elems=0,
+                    acc_elems=0,
+                    gemm_itemsize=g.gemm_itemsize,
+                )
+            )
+            continue
+        oh = conv_output_size(h, g.kh, g.stride, g.padding)
+        ow = conv_output_size(w, g.kw, g.stride, g.padding)
+        if oh < 1 or ow < 1:
+            raise ValueError(
+                f"layer {g.name!r}: input {h}x{w} collapses to {oh}x{ow}"
+            )
+        hp, wp = h + 2 * g.padding, w + 2 * g.padding
+        out_elems = g.out_channels * oh * ow
+        if g.fused:
+            # The stencil needs one output-sized tap temporary; it shares
+            # the cols slab, which the fused path never uses for columns.
+            cols_elems = out_elems
+        elif g.kh == 1 and g.kw == 1 and g.stride == 1:
+            cols_elems = 0  # im2col of a 1x1/s1 kernel is a pure view
+        else:
+            cols_elems = g.in_channels * g.kh * g.kw * oh * ow
+        plans.append(
+            LayerActivationPlan(
+                name=g.name,
+                kind=g.kind,
+                in_shape=(g.in_channels, h, w),
+                out_shape=(g.out_channels, oh, ow),
+                in_bits=g.in_bits,
+                out_bits=g.out_bits,
+                pad_elems=g.in_channels * hp * wp,
+                cols_elems=cols_elems,
+                acc_elems=out_elems,
+                gemm_itemsize=g.gemm_itemsize,
+            )
+        )
+        h, w = oh, ow
+    return plans
+
+
+def logical_rw_peak_bytes(plans: Sequence[LayerActivationPlan]) -> int:
+    """Binding term of the paper's Eq. 7 over a planned layer stack.
+
+    Max over layers of the packed input+output activation pair — the
+    quantity the MCU deploy path checks against the device RW budget, and
+    the quantity the tests cross-check against
+    :func:`repro.core.memory_model.network_rw_peak_bytes`.
+    """
+    if not plans:
+        return 0
+    return max(p.rw_bytes for p in plans)
+
+
+class ActivationArena:
+    """Preallocated ping-pong + scratch slabs for one input geometry.
+
+    Four raw ``uint8`` slabs, each sized per batch element at plan time:
+
+    ``codes`` (x2)
+        The ping-pong int64 activation-code pair.  Layer ``i`` reads its
+        input codes from slot ``(i-1) % 2`` and writes its requantized
+        output into slot ``i % 2`` — the host mirror of the paper's
+        output-stationary input/output activation pair.
+    ``pad``
+        Zero-point-shifted (and zero-padded) input in the layer's GEMM
+        dtype.
+    ``cols``
+        im2col columns — or, for the fused depthwise path, the
+        output-sized tap temporary.
+    ``acc``
+        The float GEMM accumulator (unused by int64-backend layers,
+        which contract straight into the codes slab).
+
+    ``ensure`` grows capacity monotonically; views are handed out per
+    call, sliced to the live batch, so a smaller batch reuses the same
+    storage.
+    """
+
+    def __init__(self, plans: Sequence[LayerActivationPlan]):
+        self.plans: List[LayerActivationPlan] = list(plans)
+        conv = [p for p in self.plans if p.kind != "fc"]
+        self.code_bytes_per_image = max(
+            (p.out_elems for p in conv), default=0
+        ) * _INT64_BYTES
+        self.pad_bytes_per_image = max(
+            (p.pad_elems * p.gemm_itemsize for p in conv), default=0
+        )
+        self.cols_bytes_per_image = max(
+            (p.cols_elems * p.gemm_itemsize for p in conv), default=0
+        )
+        self.acc_bytes_per_image = max(
+            (p.acc_elems * p.gemm_itemsize for p in conv), default=0
+        )
+        self.capacity = 0
+        self._codes: List[Optional[np.ndarray]] = [None, None]
+        self._pad: Optional[np.ndarray] = None
+        self._cols: Optional[np.ndarray] = None
+        self._acc: Optional[np.ndarray] = None
+
+    # -- sizing --------------------------------------------------------
+    def bytes_per_image(self) -> int:
+        """Planned host bytes per batch element, all slabs included."""
+        return (
+            2 * self.code_bytes_per_image
+            + self.pad_bytes_per_image
+            + self.cols_bytes_per_image
+            + self.acc_bytes_per_image
+        )
+
+    def planned_bytes(self, batch_size: int) -> int:
+        """Compile-time peak host activation bytes for a given tile size."""
+        return self.bytes_per_image() * int(batch_size)
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes actually held right now (== planned at current capacity)."""
+        return self.planned_bytes(self.capacity)
+
+    @property
+    def logical_rw_peak_bytes(self) -> int:
+        """Paper Eq. 7 peak for this geometry (batch-1, packed codes)."""
+        return logical_rw_peak_bytes(self.plans)
+
+    # -- allocation ----------------------------------------------------
+    def ensure(self, batch_size: int) -> None:
+        """Grow the slabs to hold ``batch_size`` images (never shrinks)."""
+        n = int(batch_size)
+        if n <= self.capacity:
+            return
+        self._codes = [
+            np.empty(n * self.code_bytes_per_image, dtype=np.uint8),
+            np.empty(n * self.code_bytes_per_image, dtype=np.uint8),
+        ]
+        self._pad = np.empty(n * self.pad_bytes_per_image, dtype=np.uint8)
+        self._cols = np.empty(n * self.cols_bytes_per_image, dtype=np.uint8)
+        self._acc = np.empty(n * self.acc_bytes_per_image, dtype=np.uint8)
+        self.capacity = n
+
+    @staticmethod
+    def _view(slab: np.ndarray, dtype, shape: Tuple[int, ...]) -> np.ndarray:
+        count = int(np.prod(shape))
+        nbytes = count * np.dtype(dtype).itemsize
+        if nbytes > slab.nbytes:
+            raise ValueError(
+                f"arena slab overflow: need {nbytes} bytes, slab holds {slab.nbytes}"
+            )
+        return slab[:nbytes].view(dtype).reshape(shape)
+
+    # -- per-call views ------------------------------------------------
+    def codes(self, slot: int, shape: Tuple[int, ...]) -> np.ndarray:
+        return self._view(self._codes[slot % 2], np.int64, shape)
+
+    def pad(self, dtype, shape: Tuple[int, ...]) -> np.ndarray:
+        return self._view(self._pad, dtype, shape)
+
+    def cols(self, dtype, shape: Tuple[int, ...]) -> np.ndarray:
+        return self._view(self._cols, dtype, shape)
+
+    def acc(self, dtype, shape: Tuple[int, ...]) -> np.ndarray:
+        return self._view(self._acc, dtype, shape)

@@ -23,15 +23,54 @@ from repro.core.icn import (
     threshold_requantize,
 )
 from repro.inference.kernels import (
+    blas_gemm_dtype,
+    gemm_reduction_length,
     int_avg_pool_global,
     int_conv2d,
     int_depthwise_conv2d,
     int_linear,
     quantize_input_codes,
+    resolve_gemm_backend,
+    shift_weights,
 )
 from repro.inference.packing import packed_size_bytes
 
 RequantParams = Union[ICNParams, FoldedBNParams, ThresholdParams]
+
+
+def _gemm_weight_dtype(backend: str, k: int, x_bits: int, w_bits: int):
+    """Operand dtype the kernel's resolved backend will contract in
+    (None for the int64 path) — lets a layer hand the kernel weights
+    already cast to the GEMM dtype, so repeated forwards skip both the
+    per-call zero-point shift *and* the per-call dtype cast."""
+    if resolve_gemm_backend(backend, k, x_bits, w_bits) == "blas":
+        return blas_gemm_dtype(k, x_bits, w_bits)
+    return None
+
+
+def _shift_cache_lookup(cache, weights_q: np.ndarray, z_w, dtype):
+    """Shared single-shift/single-cast weight cache for the interpreted
+    layers.
+
+    ``cache`` is ``(weights_q identity, {dtype: shifted/cast array})`` or
+    ``None``; keyed on the identity of ``weights_q``, so swapping in a
+    new weight tensor recomputes while repeated forwards reuse both the
+    zero-point shift and any GEMM-dtype cast.  (In-place mutation of the
+    same array is not tracked — replace the tensor to requantize.)
+    Returns ``(cache, weights)``.
+    """
+    if cache is None or cache[0] is not weights_q:
+        cache = (weights_q, {})
+    key = np.dtype(np.int64 if dtype is None else dtype)
+    weights = cache[1].get(key)
+    if weights is None:
+        base = cache[1].get(np.dtype(np.int64))
+        if base is None:
+            base = shift_weights(weights_q, z_w, int(weights_q.shape[0]))
+            cache[1][np.dtype(np.int64)] = base
+        weights = base if key == np.int64 else base.astype(key)
+        cache[1][key] = weights
+    return cache, weights
 
 
 @dataclass
@@ -53,6 +92,20 @@ class IntegerConvLayer:
     out_bits: int
     in_scale: float
     out_scale: float
+    _w_shift_cache: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _shifted_weights(self, dtype=None) -> np.ndarray:
+        """Zero-point-shifted (and GEMM-dtype-cast) weights, computed
+        once per weight tensor — the seed engine re-ran ``w - Z_w`` (and
+        the BLAS float cast) inside the kernel on every forward; see
+        :func:`_shift_cache_lookup` for the invalidation contract."""
+        p = self.params
+        self._w_shift_cache, weights = _shift_cache_lookup(
+            self._w_shift_cache, p.weights_q, p.z_w, dtype
+        )
+        return weights
 
     def forward(
         self, x_codes: np.ndarray, validate: bool = True, backend: str = "int64"
@@ -65,12 +118,17 @@ class IntegerConvLayer:
         fast path here too.
         """
         p = self.params
+        dtype = _gemm_weight_dtype(
+            backend, gemm_reduction_length(self.kind, p.weights_q.shape),
+            self.in_bits, p.w_bits,
+        )
         if self.kind == "dw":
             phi = int_depthwise_conv2d(
                 x_codes, p.weights_q, p.z_x, p.z_w,
                 stride=self.stride, padding=self.padding,
                 x_bits=self.in_bits, w_bits=p.w_bits,
                 validate=validate, backend=backend,
+                w_shift=self._shifted_weights(dtype),
             )
         else:
             phi = int_conv2d(
@@ -78,6 +136,7 @@ class IntegerConvLayer:
                 stride=self.stride, padding=self.padding,
                 x_bits=self.in_bits, w_bits=p.w_bits,
                 validate=validate, backend=backend,
+                w_shift=self._shifted_weights(dtype),
             )
         if isinstance(p, ICNParams):
             return icn_requantize(phi, p)
@@ -109,13 +168,29 @@ class IntegerLinearLayer:
     bias: Optional[np.ndarray]
     in_bits: int
     w_bits: int
+    _w_shift_cache: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _shifted_weights(self, dtype=None) -> np.ndarray:
+        """Shifted (and GEMM-dtype-cast) classifier weights — same
+        single-shift/single-cast contract as :class:`IntegerConvLayer`
+        (see :func:`_shift_cache_lookup`)."""
+        self._w_shift_cache, weights = _shift_cache_lookup(
+            self._w_shift_cache, self.weights_q, self.z_w, dtype
+        )
+        return weights
 
     def forward(
         self, x_codes: np.ndarray, validate: bool = True, backend: str = "int64"
     ) -> np.ndarray:
+        dtype = _gemm_weight_dtype(
+            backend, int(self.weights_q.shape[1]), self.in_bits, self.w_bits
+        )
         phi = int_linear(x_codes, self.weights_q, self.z_x, self.z_w,
                          x_bits=self.in_bits, w_bits=self.w_bits,
-                         validate=validate, backend=backend)
+                         validate=validate, backend=backend,
+                         w_shift=self._shifted_weights(dtype))
         s_w = np.asarray(self.s_w, dtype=np.float64).reshape(-1)
         if s_w.size == 1:
             logits = self.s_in * float(s_w[0]) * phi.astype(np.float64)
@@ -181,18 +256,25 @@ class IntegerNetwork:
         """Class predictions for a real image batch."""
         return np.argmax(self.forward(x_real), axis=1)
 
-    def compile(self, backend: str = "auto", validate: bool = True):
+    def compile(self, backend: str = "auto", validate: bool = True,
+                use_arena: bool = True, fused_depthwise="auto",
+                input_hw=None):
         """Compile the graph into an :class:`~repro.inference.plan.ExecutionPlan`.
 
         The plan precomputes per-layer GEMM-form weights, requantization
         constants and backend dispatch (float64 BLAS where exact), runs
-        range validation only at the network boundary, and exposes a
-        tiled ``run_batched`` for large sweeps.  Outputs are bit-identical
-        to this interpreted engine.
+        range validation only at the network boundary, routes depthwise
+        layers through the fused stencil kernel, executes inside a static
+        activation arena (planned eagerly when ``input_hw`` is given),
+        and exposes a tiled ``run_batched`` for large sweeps.  Outputs
+        are bit-identical to this interpreted engine.
         """
         from repro.inference.plan import ExecutionPlan
 
-        return ExecutionPlan(self, backend=backend, validate=validate)
+        return ExecutionPlan(self, backend=backend, validate=validate,
+                             use_arena=use_arena,
+                             fused_depthwise=fused_depthwise,
+                             input_hw=input_hw)
 
     def weight_storage_bytes(self) -> int:
         total = sum(l.weight_storage_bytes() for l in self.conv_layers)

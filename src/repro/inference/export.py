@@ -9,11 +9,16 @@ matches the analytical memory model.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.icn import FoldedBNParams, ICNParams, ThresholdParams
+from repro.inference.arena import (
+    LayerGeometry,
+    logical_rw_peak_bytes,
+    plan_activations,
+)
 from repro.inference.engine import IntegerNetwork
 from repro.inference.kernels import gemm_reduction_length, resolve_gemm_backend
 from repro.inference.packing import pack_subbyte, packed_size_bytes
@@ -51,8 +56,43 @@ def _layer_aux_bytes(params) -> int:
     raise TypeError(f"unsupported params type {type(params)!r}")
 
 
-def export_network(net: IntegerNetwork) -> Dict:
-    """Serialise the network into a nested dict of plain arrays/ints."""
+def _network_geometries(net: IntegerNetwork) -> List[LayerGeometry]:
+    """Activation-planning geometries of the deployment graph, matching
+    what ``net.compile()`` defaults would plan: auto GEMM dispatch, and
+    ``fused_depthwise=False`` for planning purposes — the "auto" stencil
+    dispatch keeps the conservative im2col-sized scratch plan, exactly
+    like ``ExecutionPlan._geometries`` for a default-compiled plan."""
+    geoms = [
+        LayerGeometry.from_weights(
+            name=layer.name, kind=layer.kind,
+            weight_shape=layer.params.weights_q.shape,
+            stride=layer.stride, padding=layer.padding,
+            in_bits=layer.in_bits, w_bits=layer.params.w_bits,
+            out_bits=layer.out_bits,
+            fused_depthwise=False,
+        )
+        for layer in net.conv_layers
+    ]
+    if net.classifier is not None:
+        cl = net.classifier
+        geoms.append(
+            LayerGeometry.from_weights(
+                name=cl.name, kind="fc", weight_shape=cl.weights_q.shape,
+                stride=1, padding=0, in_bits=cl.in_bits, w_bits=cl.w_bits,
+                out_bits=cl.in_bits,
+            )
+        )
+    return geoms
+
+
+def export_network(net: IntegerNetwork, input_hw: Optional[Tuple[int, int]] = None) -> Dict:
+    """Serialise the network into a nested dict of plain arrays/ints.
+
+    With ``input_hw`` the export also carries the runtime activation
+    plan: per-layer activation element counts plus the Eq. 7 RW peak, so
+    a deployment can assert ``arena["rw_peak_bytes"] <= device RAM``
+    without re-deriving the geometry cascade.
+    """
     layers = []
     for layer in net.conv_layers:
         p = layer.params
@@ -99,6 +139,20 @@ def export_network(net: IntegerNetwork) -> Dict:
         "zero_point": net.input_zero_point,
         "bits": net.input_bits,
     }
+    if input_hw is not None:
+        plans = plan_activations(_network_geometries(net), input_hw)
+        conv_plans = [p for p in plans if p.kind != "fc"]
+        for entry, p in zip(layers, conv_plans):
+            entry["activations"] = {
+                "in_shape": list(p.in_shape),
+                "out_shape": list(p.out_shape),
+                "rw_bytes": p.rw_bytes,
+            }
+        out["arena"] = {
+            "input_hw": [int(input_hw[0]), int(input_hw[1])],
+            "rw_peak_bytes": logical_rw_peak_bytes(plans),
+            "per_layer_rw_bytes": [p.rw_bytes for p in plans],
+        }
     return out
 
 

@@ -139,6 +139,108 @@ def shift_weights(w_codes: np.ndarray, z_w: np.ndarray | int, c_out: int) -> np.
     return np.subtract(w_codes, z_w_arr.reshape((-1,) + (1,) * (w_codes.ndim - 1)), dtype=np.int64)
 
 
+#: Route a depthwise layer through the fused stencil when materialising
+#: its im2col column tensor would exceed this many bytes.  While the
+#: unfold stays near cache-resident the batched BLAS contraction is the
+#: faster path; once the kh*kw-fold copy clearly exceeds the last-level
+#: cache the layer turns memory-bound and the stencil (which never
+#: materialises the columns) wins ~1.5-2x.  Sized at ~1.5x a typical
+#: 32 MB L3 — measured: a ~29 MB unfold still favours im2col, a ~58 MB
+#: unfold favours the stencil.
+DW_IM2COL_BYTES_THRESHOLD = 48 << 20
+
+#: Batch-blocking target of the stencil: taps iterate inside blocks whose
+#: out/tmp/window working set stays around this size, so the accumulator
+#: churns in cache instead of streaming from DRAM on every tap.
+DW_STENCIL_BLOCK_BYTES = 2 << 20
+
+
+def depthwise_prefers_stencil(
+    n: int, c: int, kh: int, kw: int, oh: int, ow: int, itemsize: int,
+    stride: int = 1,
+) -> bool:
+    """Whether the fused stencil beats materialised im2col for this shape
+    (the ``fused_depthwise="auto"`` dispatch rule of the compiled plan).
+
+    Strided stencils read non-contiguous windows (SIMD-hostile), while
+    strided im2col shrinks its columns to the output size — so the
+    stencil is only preferred for stride-1 layers whose unfold exceeds
+    the cache threshold.
+    """
+    if stride != 1:
+        return False
+    return n * c * kh * kw * oh * ow * itemsize > DW_IM2COL_BYTES_THRESHOLD
+
+
+def depthwise_stencil_accumulate(
+    x_shift: np.ndarray,
+    w_cols: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    out: np.ndarray | None = None,
+    tmp: np.ndarray | None = None,
+) -> np.ndarray:
+    """Fused depthwise accumulation: per-tap strided stencil, no im2col.
+
+    ``x_shift`` is the zero-point-shifted, already zero-padded input
+    ``(N, C, HP, WP)`` and ``w_cols`` the shifted weights ``(C, kh*kw)``
+    in the *same* dtype.  Instead of materialising the unfolded
+    ``(N, C, kh*kw, OH*OW)`` column tensor (a ``kh*kw``-fold copy of the
+    input — what makes large depthwise layers memory-bound), the kernel
+    makes one multiply-add pass per kernel tap over a strided window view
+    of the input, accumulating straight into the output-sized buffer.
+    Taps run innermost over batch blocks of ~``DW_STENCIL_BLOCK_BYTES``
+    so the accumulator stays cache-resident across the tap sweep.
+
+    Exactness matches the GEMM backends: every tap product is bounded by
+    ``(2^Qx - 1) * (2^Qw - 1)`` and every partial sum by
+    ``k * (2^Qx - 1) * (2^Qw - 1)``, so whenever that bound fits the
+    float significand (the same 2^24 / 2^53 dispatch as
+    :func:`blas_gemm_dtype`) every float intermediate is an exact
+    integer; over int64 it is exact unconditionally.
+
+    ``out`` and ``tmp`` are optional preallocated ``(N, C, OH, OW)``
+    buffers (activation-arena slabs); ``out`` must not alias ``x_shift``.
+    """
+    n, c, hp, wp = x_shift.shape
+    oh = (hp - kh) // stride + 1
+    ow = (wp - kw) // stride + 1
+    if out is None:
+        out = np.empty((n, c, oh, ow), dtype=x_shift.dtype)
+    if tmp is None and kh * kw > 1:
+        tmp = np.empty((n, c, oh, ow), dtype=x_shift.dtype)
+    itemsize = x_shift.dtype.itemsize
+    per_channel = 3 * oh * ow * itemsize
+    c_block = max(1, DW_STENCIL_BLOCK_BYTES // max(per_channel, 1))
+    if c_block >= c:
+        # Whole channel ranges fit the target: block over the batch.
+        c_block = c
+        n_block = max(1, DW_STENCIL_BLOCK_BYTES // max(per_channel * c, 1))
+    else:
+        n_block = 1
+    i_stops = [
+        (i, j, i + stride * (oh - 1) + 1, j + stride * (ow - 1) + 1)
+        for i, j in (divmod(idx, kw) for idx in range(kh * kw))
+    ]
+    for b0 in range(0, n, n_block):
+        b1 = min(b0 + n_block, n)
+        for c0 in range(0, c, c_block):
+            c1 = min(c0 + c_block, c)
+            x_b = x_shift[b0:b1, c0:c1]
+            out_b = out[b0:b1, c0:c1]
+            tmp_b = None if tmp is None else tmp[b0:b1, c0:c1]
+            for idx, (i, j, i_stop, j_stop) in enumerate(i_stops):
+                window = x_b[:, :, i:i_stop:stride, j:j_stop:stride]
+                tap = w_cols[c0:c1, idx].reshape(1, c1 - c0, 1, 1)
+                if idx == 0:
+                    np.multiply(window, tap, out=out_b)
+                else:
+                    np.multiply(window, tap, out=tmp_b)
+                    out_b += tmp_b
+    return out
+
+
 def int_conv2d(
     x_codes: np.ndarray,
     w_codes: np.ndarray,
@@ -150,6 +252,7 @@ def int_conv2d(
     w_bits: int = 8,
     validate: bool = True,
     backend: str = "auto",
+    w_shift: np.ndarray | None = None,
 ) -> np.ndarray:
     """Integer accumulator of a standard convolution.
 
@@ -157,7 +260,9 @@ def int_conv2d(
     kh, kw).  ``z_w`` may be a scalar (per-layer) or a per-output-channel
     vector (per-channel).  Zero padding pads with the code ``z_x`` so that
     the padded positions represent the real value 0, as the MCU kernel
-    does.
+    does.  ``w_shift`` optionally supplies the pre-shifted int64 weights
+    (``w_codes - z_w``) so callers that run repeatedly can hoist the
+    shift out of the per-inference path.
     """
     if validate:
         check_codes("activation", x_codes, x_bits)
@@ -165,14 +270,16 @@ def int_conv2d(
     n, c_in, h, w = x_codes.shape
     c_out, _, kh, kw = w_codes.shape
     backend = resolve_gemm_backend(backend, c_in * kh * kw, x_bits, w_bits)
-    w_shift = shift_weights(w_codes, z_w, c_out)
+    if w_shift is None:
+        w_shift = shift_weights(w_codes, z_w, c_out)
     w2 = w_shift.reshape(c_out, -1)
     # Shift activations by Z_x before im2col so zero padding contributes 0.
     if backend == "blas":
         dtype = blas_gemm_dtype(c_in * kh * kw, x_bits, w_bits)
         x_shift = np.subtract(x_codes, int(z_x), dtype=dtype)
         cols = im2col(x_shift, kh, kw, stride, padding, contiguous=False)
-        phi = np.matmul(w2.astype(dtype), cols).astype(np.int64)
+        # copy=False: a no-op when the caller supplied pre-cast w_shift.
+        phi = np.matmul(w2.astype(dtype, copy=False), cols).astype(np.int64)
     else:
         x_shift = np.subtract(x_codes, int(z_x), dtype=np.int64)
         cols = im2col(x_shift, kh, kw, stride, padding, contiguous=False)
@@ -193,11 +300,14 @@ def int_depthwise_conv2d(
     w_bits: int = 8,
     validate: bool = True,
     backend: str = "auto",
+    w_shift: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Integer accumulator of a depthwise convolution.
+    """Integer accumulator of a depthwise convolution (im2col reference).
 
     ``w_codes`` has shape (C, 1, kh, kw); the per-channel ``z_w`` vector
-    has one entry per channel.
+    has one entry per channel.  This is the unfold-then-contract ground
+    truth the fused stencil path (:func:`int_depthwise_conv2d_fused`) is
+    property-tested against.
     """
     if validate:
         check_codes("activation", x_codes, x_bits)
@@ -207,10 +317,11 @@ def int_depthwise_conv2d(
     oh = conv_output_size(h, kh, stride, padding)
     ow = conv_output_size(w, kw, stride, padding)
     backend = resolve_gemm_backend(backend, kh * kw, x_bits, w_bits)
-    try:
-        w_shift = shift_weights(w_codes, z_w, c)
-    except ValueError:
-        raise ValueError("per-channel z_w must have one entry per channel") from None
+    if w_shift is None:
+        try:
+            w_shift = shift_weights(w_codes, z_w, c)
+        except ValueError:
+            raise ValueError("per-channel z_w must have one entry per channel") from None
     w2 = w_shift.reshape(c, kh * kw)
     if backend == "blas":
         dtype = blas_gemm_dtype(kh * kw, x_bits, w_bits)
@@ -218,7 +329,7 @@ def int_depthwise_conv2d(
         cols = im2col(x_shift, kh, kw, stride, padding, contiguous=False)
         cols = cols.reshape(n, c, kh * kw, oh * ow)
         # (C, 1, kh*kw) @ (N, C, kh*kw, L) -> (N, C, 1, L), batched over N, C.
-        phi = np.matmul(w2.astype(dtype)[:, None, :], cols)
+        phi = np.matmul(w2.astype(dtype, copy=False)[:, None, :], cols)
         phi = phi.astype(np.int64).reshape(n, c, oh * ow)
     else:
         x_shift = np.subtract(x_codes, int(z_x), dtype=np.int64)
@@ -226,6 +337,56 @@ def int_depthwise_conv2d(
         cols = cols.reshape(n, c, kh * kw, oh * ow)
         phi = np.einsum("ck,nckl->ncl", w2, cols, optimize=True)
     return phi.reshape(n, c, oh, ow)
+
+
+def int_depthwise_conv2d_fused(
+    x_codes: np.ndarray,
+    w_codes: np.ndarray,
+    z_x: int,
+    z_w: np.ndarray | int,
+    stride: int = 1,
+    padding: int = 0,
+    x_bits: int = 8,
+    w_bits: int = 8,
+    validate: bool = True,
+    backend: str = "auto",
+    w_shift: np.ndarray | None = None,
+) -> np.ndarray:
+    """Integer accumulator of a depthwise convolution, fused stencil path.
+
+    Same contract (and bit-identical result, by property test) as
+    :func:`int_depthwise_conv2d`, but the ``kh*kw``-fold im2col copy is
+    never materialised: the accumulation runs as per-tap strided
+    multiply-adds via :func:`depthwise_stencil_accumulate`.  Backend
+    dispatch follows the same exactness bounds — float32/float64 when the
+    worst-case accumulator fits the significand, int64 otherwise.
+    """
+    if validate:
+        check_codes("activation", x_codes, x_bits)
+        check_codes("weight", w_codes, w_bits)
+    n, c, h, w = x_codes.shape
+    kh, kw = w_codes.shape[2], w_codes.shape[3]
+    backend = resolve_gemm_backend(backend, kh * kw, x_bits, w_bits)
+    if w_shift is None:
+        try:
+            w_shift = shift_weights(w_codes, z_w, c)
+        except ValueError:
+            raise ValueError("per-channel z_w must have one entry per channel") from None
+    dtype = blas_gemm_dtype(kh * kw, x_bits, w_bits) if backend == "blas" else np.int64
+    w_cols = w_shift.reshape(c, kh * kw).astype(dtype, copy=False)
+    if padding > 0:
+        x_shift = np.zeros(
+            (n, c, h + 2 * padding, w + 2 * padding), dtype=dtype
+        )
+        np.subtract(
+            x_codes, int(z_x), out=x_shift[:, :, padding:-padding, padding:-padding]
+        )
+    else:
+        x_shift = np.subtract(x_codes, int(z_x), dtype=dtype)
+    phi = depthwise_stencil_accumulate(x_shift, w_cols, kh, kw, stride)
+    if phi.dtype != np.int64:
+        phi = phi.astype(np.int64)
+    return phi
 
 
 def int_linear(
@@ -237,6 +398,7 @@ def int_linear(
     w_bits: int = 8,
     validate: bool = True,
     backend: str = "auto",
+    w_shift: np.ndarray | None = None,
 ) -> np.ndarray:
     """Integer accumulator of a fully connected layer.
 
@@ -246,14 +408,15 @@ def int_linear(
         check_codes("activation", x_codes, x_bits)
         check_codes("weight", w_codes, w_bits)
     backend = resolve_gemm_backend(backend, w_codes.shape[1], x_bits, w_bits)
-    try:
-        w_shift = shift_weights(w_codes, z_w, w_codes.shape[0])
-    except ValueError:
-        raise ValueError("per-channel z_w must have one entry per output feature") from None
+    if w_shift is None:
+        try:
+            w_shift = shift_weights(w_codes, z_w, w_codes.shape[0])
+        except ValueError:
+            raise ValueError("per-channel z_w must have one entry per output feature") from None
     if backend == "blas":
         dtype = blas_gemm_dtype(w_codes.shape[1], x_bits, w_bits)
         x_shift = np.subtract(x_codes, int(z_x), dtype=dtype)
-        return (x_shift @ w_shift.T.astype(dtype)).astype(np.int64)
+        return (x_shift @ w_shift.T.astype(dtype, copy=False)).astype(np.int64)
     x_shift = np.subtract(x_codes, int(z_x), dtype=np.int64)
     return x_shift @ w_shift.T
 

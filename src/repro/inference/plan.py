@@ -10,22 +10,32 @@ per-inference path:
   exactness bound ``k * (2^Qx - 1) * (2^Qw - 1) < 2^53`` holds (always
   true for the UINT2/4/8 networks of the paper), int64 einsum otherwise,
   with the einsum contraction path resolved once and cached;
+* depthwise layers take a fused stencil path that never materialises the
+  im2col column tensor (per-tap strided multiply-adds, same exactness
+  dispatch — see :func:`repro.inference.kernels.depthwise_stencil_accumulate`);
 * requantization constants (``m0``/``n0``/``bq``, threshold tables) are
   pre-reshaped for the flat ``(N, C, L)`` accumulator layout and the
   fixed-point shift is split into its divisor / left-shift parts;
 * range validation runs once at the network boundary (``validate=True``
-  by default there) instead of per layer inside the hot loop.
+  by default there) instead of per layer inside the hot loop;
+* activation and scratch buffers come from a static
+  :class:`~repro.inference.arena.ActivationArena` — a ping-pong int64
+  code pair plus pad/cols/acc slabs sized at plan time — so steady-state
+  inference performs no per-layer allocations and peak host activation
+  memory equals the compile-time plan, mirroring the paper's Eq. 7 RW
+  model (``use_arena=False`` restores per-call allocation for A/B tests).
 
 The plan executes bit-identically to ``IntegerNetwork.forward`` — the
 tests assert equality against the int64 einsum reference — and
-``run_batched`` streams large evaluation sweeps through the engine in
-fixed-size tiles so memory stays bounded by the batch, not the sweep.
+``run_batched`` streams large evaluation sweeps through the arena in
+fixed-size tiles, writing into a preallocated result, so activation
+memory stays bounded by one tile regardless of the sweep size.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,9 +45,16 @@ from repro.core.icn import (
     ICNParams,
     ThresholdParams,
 )
+from repro.inference.arena import (
+    ActivationArena,
+    LayerGeometry,
+    plan_activations,
+)
 from repro.inference.kernels import (
     blas_gemm_dtype,
     check_codes,
+    depthwise_prefers_stencil,
+    depthwise_stencil_accumulate,
     gemm_reduction_length,
     int_avg_pool_global,
     quantize_input_codes,
@@ -58,8 +75,8 @@ class _CompiledFixedPointRequant:
     fixed-point hot loop.  The divide of ``icn._fixed_point_scale`` is a
     floor division by ``2^pos``, which over int64 equals an arithmetic
     right shift — several times faster than ``floor_divide`` — and every
-    step runs in place on the freshly allocated accumulator, so
-    requantization adds no allocations to the hot loop.  Bit-identical to
+    step runs in place on the caller-owned accumulator, so requantization
+    adds no allocations to the hot loop.  Bit-identical to
     :func:`repro.core.icn.icn_requantize` / ``folded_requantize`` by
     construction (and by test).
     """
@@ -108,7 +125,13 @@ def _compile_folded_requant(params: FoldedBNParams) -> _CompiledFixedPointRequan
 
 
 class _CompiledThresholdRequant:
-    """Per-channel threshold tables pre-sliced/pre-reversed for searchsorted."""
+    """Per-channel threshold tables pre-sliced/pre-reversed for searchsorted.
+
+    Requantizes in place: each channel of ``phi`` is fully consumed by
+    ``searchsorted`` before the clipped result is written back over it,
+    so the threshold path needs no output allocation either (the arena's
+    code slab doubles as the output buffer, like the fixed-point path).
+    """
 
     def __init__(self, params: ThresholdParams):
         self.levels = 2 ** params.out_bits
@@ -121,15 +144,14 @@ class _CompiledThresholdRequant:
                 self.tables.append((np.ascontiguousarray(th[::-1]), -1))
 
     def __call__(self, phi: np.ndarray) -> np.ndarray:
-        out = np.empty_like(phi)
         for c, (table, direction) in enumerate(self.tables):
             vals = phi[:, c, :]
             if direction > 0:
                 y = np.searchsorted(table, vals, side="right")
             else:
                 y = self.levels - 1 - np.searchsorted(table, vals, side="left")
-            out[:, c, :] = np.clip(y, 0, self.levels - 1)
-        return out
+            np.clip(y, 0, self.levels - 1, out=vals)
+        return phi
 
 
 def _compile_requant(params):
@@ -152,9 +174,20 @@ class CompiledConvLayer:
     the same guard the interpreted engine applies on every forward, at
     zero per-inference cost (and required for the float exactness bound,
     which assumes codes within [0, 2^Q - 1]).
+
+    ``fused_depthwise`` (depthwise only) selects the im2col-free stencil
+    path: ``True`` forces it, ``False`` forces the unfold+matmul path,
+    and ``"auto"`` (default) picks per call — stencil exactly when the
+    batch's im2col column tensor would blow the cache threshold and turn
+    the layer memory-bound (:func:`~repro.inference.kernels.depthwise_prefers_stencil`).
+    Called with an :class:`~repro.inference.arena.ActivationArena`, the
+    layer computes entirely inside preallocated slab views and returns a
+    view into the arena's code slot ``slot``; called without, it keeps
+    the fresh-allocation behaviour (the reference for the arena tests).
     """
 
-    def __init__(self, layer, backend: str = "auto", validate: bool = True):
+    def __init__(self, layer, backend: str = "auto", validate: bool = True,
+                 fused_depthwise="auto"):
         p = layer.params
         self.name = layer.name
         self.kind = layer.kind
@@ -168,10 +201,26 @@ class CompiledConvLayer:
             check_codes(f"{self.name} weight", w, self.w_bits)
         self.kh, self.kw = int(w.shape[2]), int(w.shape[3])
         self.out_channels = int(w.shape[0])
+        self.in_channels = self.out_channels if self.kind == "dw" else int(w.shape[1])
         self.k_reduction = gemm_reduction_length(self.kind, w.shape)
         self.backend = resolve_gemm_backend(
             backend, self.k_reduction, self.in_bits, self.w_bits
         )
+        if fused_depthwise is True:
+            mode = "always"
+        elif fused_depthwise is False:
+            mode = "never"
+        elif fused_depthwise == "auto":
+            mode = "auto"
+        else:
+            raise ValueError(
+                f"fused_depthwise must be True, False or 'auto', got {fused_depthwise!r}"
+            )
+        self.dw_mode = mode if self.kind == "dw" else ""
+        # "Always" is what the arena planner treats as fused (it shrinks
+        # the cols slab to the tap temporary); "auto" keeps the
+        # conservative im2col-sized plan since either path may run.
+        self.fused = self.dw_mode == "always"
         self.z_x = int(p.z_x)
         w2 = np.ascontiguousarray(
             shift_weights(w, p.z_w, self.out_channels).reshape(self.out_channels, -1)
@@ -179,55 +228,113 @@ class CompiledConvLayer:
         if self.backend == "blas":
             self.gemm_dtype = blas_gemm_dtype(self.k_reduction, self.in_bits, self.w_bits)
             self.w2 = w2.astype(self.gemm_dtype)
-            if self.kind == "dw":
-                self.w2 = np.ascontiguousarray(self.w2[:, None, :])  # (C, 1, kh*kw)
         else:
             self.gemm_dtype = np.int64
             self.w2 = w2
+        self.gemm_itemsize = np.dtype(self.gemm_dtype).itemsize
+        if self.kind == "dw":
+            self.w_cols = self.w2  # (C, kh*kw) stencil form
+            if self.backend == "blas" and self.dw_mode != "always":
+                # (C, 1, kh*kw) batched-matmul form for the im2col path
+                # (the int64 einsum contraction keeps the flat form).
+                self.w2 = np.ascontiguousarray(self.w2[:, None, :])
         self._einsum_path = None
         self.requant = _compile_requant(p)
 
-    def _accumulate_int64(self, cols: np.ndarray) -> np.ndarray:
+    def _accumulate_int64(self, cols: np.ndarray, out=None) -> np.ndarray:
         expr = "ck,nckl->ncl" if self.kind == "dw" else "ok,nkl->nol"
         if self._einsum_path is None:
             self._einsum_path = np.einsum_path(expr, self.w2, cols, optimize="optimal")[0]
-        return np.einsum(expr, self.w2, cols, optimize=self._einsum_path)
+        return np.einsum(expr, self.w2, cols, optimize=self._einsum_path, out=out)
 
-    def _shift_pad(self, x_codes: np.ndarray, dtype) -> np.ndarray:
-        """Zero-point shift and zero-pad in a single allocation.
+    def _shift_pad(self, x_codes: np.ndarray, dtype, arena) -> np.ndarray:
+        """Zero-point shift and zero-pad in a single (or zero) allocation.
 
         Writing ``x - Z_x`` straight into the interior of the padded
         buffer fuses what the interpreted path does in two full-tensor
         passes (``subtract`` then ``np.pad``).
         """
         p = self.padding
-        if p == 0:
-            return np.subtract(x_codes, self.z_x, dtype=dtype)
         n, c, h, w = x_codes.shape
-        out = np.zeros((n, c, h + 2 * p, w + 2 * p), dtype=dtype)
+        if p == 0:
+            if arena is not None:
+                out = arena.pad(dtype, (n, c, h, w))
+                return np.subtract(x_codes, self.z_x, out=out)
+            return np.subtract(x_codes, self.z_x, dtype=dtype)
+        shape = (n, c, h + 2 * p, w + 2 * p)
+        if arena is not None:
+            out = arena.pad(dtype, shape)
+            out.fill(0)
+        else:
+            out = np.zeros(shape, dtype=dtype)
         np.subtract(x_codes, self.z_x, out=out[:, :, p:-p, p:-p])
         return out
 
-    def __call__(self, x_codes: np.ndarray) -> np.ndarray:
+    def _unfold(self, x_shift: np.ndarray, arena, n: int, l_out: int) -> np.ndarray:
+        """im2col columns — a pure view for 1x1/s1, an arena slab otherwise."""
+        if self.kh == 1 and self.kw == 1 and self.stride == 1:
+            return x_shift.reshape(n, self.in_channels, l_out)
+        shape = (n, self.in_channels * self.kh * self.kw, l_out)
+        if arena is not None:
+            return im2col(x_shift, self.kh, self.kw, self.stride, 0,
+                          out=arena.cols(x_shift.dtype, shape))
+        return im2col(x_shift, self.kh, self.kw, self.stride, 0, contiguous=False)
+
+    def __call__(self, x_codes: np.ndarray, arena: Optional[ActivationArena] = None,
+                 slot: int = 0) -> np.ndarray:
         n, c, h, w = x_codes.shape
         oh = conv_output_size(h, self.kh, self.stride, self.padding)
         ow = conv_output_size(w, self.kw, self.stride, self.padding)
-        if self.backend == "blas":
-            x_shift = self._shift_pad(x_codes, self.gemm_dtype)
-            cols = im2col(x_shift, self.kh, self.kw, self.stride, 0, contiguous=False)
-            if self.kind == "dw":
-                cols = cols.reshape(n, c, self.k_reduction, oh * ow)
-                phi = np.matmul(self.w2, cols).reshape(n, c, oh * ow)
+        l_out = oh * ow
+        out_shape = (n, self.out_channels, l_out)
+        fused = self.kind == "dw" and (
+            self.dw_mode == "always"
+            or (self.dw_mode == "auto" and depthwise_prefers_stencil(
+                n, c, self.kh, self.kw, oh, ow, self.gemm_itemsize,
+                stride=self.stride))
+        )
+        x_shift = self._shift_pad(x_codes, self.gemm_dtype, arena)
+        if fused:
+            # Per-tap strided stencil; the cols slab serves as the tap
+            # temporary (it is never used for columns on this path).
+            if self.backend == "blas":
+                acc = arena.acc(self.gemm_dtype, (n, c, oh, ow)) if arena is not None else None
             else:
-                phi = np.matmul(self.w2, cols)
-            phi = phi.astype(np.int64)
-        else:
-            x_shift = self._shift_pad(x_codes, np.int64)
-            cols = im2col(x_shift, self.kh, self.kw, self.stride, 0, contiguous=False)
+                acc = arena.codes(slot, (n, c, oh, ow)) if arena is not None else None
+            tmp = (arena.cols(self.gemm_dtype, (n, c, oh, ow))
+                   if arena is not None and self.k_reduction > 1 else None)
+            phi = depthwise_stencil_accumulate(
+                x_shift, self.w_cols, self.kh, self.kw, self.stride, out=acc, tmp=tmp
+            ).reshape(n, c, l_out)
+        elif self.backend == "blas":
+            cols = self._unfold(x_shift, arena, n, l_out)
             if self.kind == "dw":
-                cols = cols.reshape(n, c, self.k_reduction, oh * ow)
-            phi = self._accumulate_int64(cols)
-        return self.requant(phi).reshape(n, self.out_channels, oh, ow)
+                cols = cols.reshape(n, c, self.k_reduction, l_out)
+                acc = arena.acc(self.gemm_dtype, (n, c, 1, l_out)) if arena is not None else None
+                phi = np.matmul(self.w2, cols, out=acc).reshape(n, c, l_out)
+            else:
+                acc = arena.acc(self.gemm_dtype, out_shape) if arena is not None else None
+                phi = np.matmul(self.w2, cols, out=acc)
+        else:
+            cols = self._unfold(x_shift, arena, n, l_out)
+            if self.kind == "dw":
+                cols = cols.reshape(n, c, self.k_reduction, l_out)
+            # The int64 contraction writes straight into the output code
+            # slab — no float accumulator, no extra copy.
+            acc = arena.codes(slot, out_shape) if arena is not None else None
+            phi = self._accumulate_int64(cols, out=acc)
+        # Integer accumulator -> int64 codes buffer (exact: every float
+        # value is an integer below the significand bound by construction).
+        if phi.dtype == np.int64:
+            phi64 = phi
+        elif arena is not None:
+            phi64 = arena.codes(slot, out_shape)
+            np.copyto(phi64, phi.reshape(out_shape), casting="unsafe")
+        else:
+            phi64 = phi.reshape(out_shape).astype(np.int64)
+        return self.requant(phi64.reshape(out_shape)).reshape(
+            n, self.out_channels, oh, ow
+        )
 
 
 class CompiledLinear:
@@ -290,6 +397,8 @@ class LayerPlanInfo:
     out_channels: int
     in_bits: int
     w_bits: int
+    #: Depthwise dispatch mode ("always"/"never"/"auto"); "" for non-dw.
+    dw_mode: str = ""
 
 
 class ExecutionPlan:
@@ -298,15 +407,28 @@ class ExecutionPlan:
     ``validate`` controls the boundary range check on incoming codes and
     a one-time weight-code check at compile time; the per-call per-layer
     scans of the interpreted engine never run inside the plan.
+
+    ``use_arena`` routes all activation/scratch traffic through a static
+    :class:`~repro.inference.arena.ActivationArena` (planned lazily per
+    input geometry, or eagerly when ``input_hw`` is given).
+    ``fused_depthwise`` selects the stencil depthwise kernel: ``"auto"``
+    (default) per-call by the cache-threshold rule, ``True`` always,
+    ``False`` never.  ``use_arena=False`` plus ``fused_depthwise=False``
+    restores the PR-1 per-call-allocation im2col behaviour for A/B
+    comparisons and tests.
     """
 
-    def __init__(self, network, backend: str = "auto", validate: bool = True):
+    def __init__(self, network, backend: str = "auto", validate: bool = True,
+                 use_arena: bool = True, fused_depthwise="auto",
+                 input_hw: Optional[Tuple[int, int]] = None):
         self.validate = bool(validate)
+        self.use_arena = bool(use_arena)
         self.input_scale = float(network.input_scale)
         self.input_zero_point = int(network.input_zero_point)
         self.input_bits = int(network.input_bits)
         self.layers: List[CompiledConvLayer] = [
-            CompiledConvLayer(l, backend=backend, validate=self.validate)
+            CompiledConvLayer(l, backend=backend, validate=self.validate,
+                              fused_depthwise=fused_depthwise)
             for l in network.conv_layers
         ]
         self.has_pool = network.pool is not None
@@ -314,6 +436,9 @@ class ExecutionPlan:
             None if network.classifier is None
             else CompiledLinear(network.classifier, backend=backend, validate=self.validate)
         )
+        self._arenas: Dict[Tuple[int, int], ActivationArena] = {}
+        if input_hw is not None:
+            self.arena_for(input_hw)
 
     # -- input boundary ------------------------------------------------
     def quantize_input(self, x_real: np.ndarray) -> np.ndarray:
@@ -323,20 +448,70 @@ class ExecutionPlan:
             x_real, self.input_scale, self.input_zero_point, self.input_bits
         )
 
+    # -- activation memory planning ------------------------------------
+    def _geometries(self) -> List[LayerGeometry]:
+        geoms = [LayerGeometry.from_compiled(l) for l in self.layers]
+        if self.classifier is not None:
+            c = self.classifier
+            geoms.append(LayerGeometry(
+                name=c.name, kind="fc",
+                in_channels=c.k_reduction, out_channels=c.out_channels,
+                kh=1, kw=1, stride=1, padding=0,
+                in_bits=c.in_bits,
+                # Logits leave the integer domain; for the Eq. 7 model the
+                # classifier output is accounted at the activation width.
+                out_bits=c.in_bits,
+                gemm_itemsize=np.dtype(c.gemm_dtype).itemsize,
+                fused=False,
+            ))
+        return geoms
+
+    def arena_for(self, input_hw: Tuple[int, int]) -> ActivationArena:
+        """The static activation arena planned for one input geometry.
+
+        Planned once per ``(H, W)`` and cached; its slabs grow to the
+        largest batch seen (``planned_bytes(batch)`` is exact for any
+        batch).  This is also the introspection entry point: the arena
+        carries the per-layer :class:`LayerActivationPlan` list and the
+        Eq. 7 ``logical_rw_peak_bytes`` the deploy path checks against a
+        device's RW budget.
+        """
+        key = (int(input_hw[0]), int(input_hw[1]))
+        arena = self._arenas.get(key)
+        if arena is None:
+            arena = ActivationArena(plan_activations(self._geometries(), key))
+            self._arenas[key] = arena
+        return arena
+
     # -- execution -----------------------------------------------------
+    def _trunk(self, x_codes: np.ndarray) -> Tuple[np.ndarray, bool]:
+        """Run the conv trunk; returns (codes, codes_are_an_arena_view)."""
+        n = x_codes.shape[0]
+        if not (self.use_arena and self.layers and n > 0):
+            for layer in self.layers:
+                x_codes = layer(x_codes)
+            return x_codes, False
+        arena = self.arena_for((x_codes.shape[2], x_codes.shape[3]))
+        arena.ensure(n)
+        for i, layer in enumerate(self.layers):
+            x_codes = layer(x_codes, arena=arena, slot=i % 2)
+        return x_codes, True
+
     def run_codes(self, x_codes: np.ndarray, validate: Optional[bool] = None) -> np.ndarray:
-        """Run the convolutional trunk on integer codes; returns codes."""
+        """Run the convolutional trunk on integer codes; returns codes
+        the caller owns (never a live view into the arena)."""
         if self.validate if validate is None else validate:
             check_codes("input activation", x_codes, self.input_bits)
-        for layer in self.layers:
-            x_codes = layer(x_codes)
-        return x_codes
+        codes, is_view = self._trunk(x_codes)
+        return codes.copy() if is_view else codes
 
     def run(self, x_real: np.ndarray) -> np.ndarray:
         """End-to-end inference from a real image batch to real logits."""
         codes = self.quantize_input(x_real)
-        # quantize_input clips into range, so the boundary check is moot here.
-        codes = self.run_codes(codes, validate=False)
+        # quantize_input clips into range, so the boundary check is moot
+        # here; pool/classifier consume the trunk's arena view before any
+        # subsequent call reuses the slabs, so no defensive copy either.
+        codes, _ = self._trunk(codes)
         if self.has_pool:
             codes = int_avg_pool_global(codes)
         if self.classifier is not None:
@@ -346,9 +521,11 @@ class ExecutionPlan:
     def run_batched(self, x_real: np.ndarray, batch_size: int = 32) -> np.ndarray:
         """Stream a large sweep through the plan in fixed-size tiles.
 
-        Peak memory is bounded by one tile's activations instead of the
-        whole sweep's, which is what the evaluation entry points use for
-        dataset-sized inputs.
+        Every tile reuses the same activation arena, and results are
+        written into one preallocated output, so peak activation memory
+        is the compile-time ``arena_for(hw).planned_bytes(batch_size)``
+        regardless of the sweep size — sweeps far larger than RAM would
+        allow for whole-sweep activations stream through unchanged.
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -356,8 +533,12 @@ class ExecutionPlan:
         n = x_real.shape[0]
         if n <= batch_size:
             return self.run(x_real)
-        outs = [self.run(x_real[i:i + batch_size]) for i in range(0, n, batch_size)]
-        return np.concatenate(outs, axis=0)
+        first = self.run(x_real[:batch_size])
+        out = np.empty((n,) + first.shape[1:], dtype=first.dtype)
+        out[:batch_size] = first
+        for i in range(batch_size, n, batch_size):
+            out[i:i + batch_size] = self.run(x_real[i:i + batch_size])
+        return out
 
     def predict(self, x_real: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
         """Class predictions for a real image batch (optionally tiled)."""
@@ -369,7 +550,8 @@ class ExecutionPlan:
     def layer_info(self) -> Sequence[LayerPlanInfo]:
         infos = [
             LayerPlanInfo(l.name, l.kind, l.backend, np.dtype(l.gemm_dtype).name,
-                          l.k_reduction, l.out_channels, l.in_bits, l.w_bits)
+                          l.k_reduction, l.out_channels, l.in_bits, l.w_bits,
+                          l.dw_mode)
             for l in self.layers
         ]
         if self.classifier is not None:
@@ -380,12 +562,37 @@ class ExecutionPlan:
             )
         return infos
 
-    def describe(self) -> str:
-        """Human-readable per-layer dispatch summary."""
-        lines = [f"{'layer':<16} {'kind':<5} {'backend':<7} {'dtype':<8} {'k':>6} {'c_out':>6}"]
+    def describe(self, input_hw: Optional[Tuple[int, int]] = None,
+                 batch_size: int = 1) -> str:
+        """Human-readable per-layer dispatch summary.
+
+        With ``input_hw`` (or after the plan has already executed on some
+        geometry) the summary ends with the activation-arena plan: the
+        host slab bytes for ``batch_size`` images and the paper-model
+        (Eq. 7) logical RW peak for packed codes.
+        """
+        lines = [f"{'layer':<16} {'kind':<5} {'backend':<7} {'dtype':<8} "
+                 f"{'k':>6} {'c_out':>6}  {'path'}"]
+        paths = {"always": "fused-stencil", "never": "im2col", "auto": "auto-stencil"}
         for info in self.layer_info():
+            path = paths.get(info.dw_mode, "im2col")
             lines.append(
                 f"{info.name:<16} {info.kind:<5} {info.backend:<7} {info.gemm_dtype:<8} "
-                f"{info.k_reduction:>6} {info.out_channels:>6}"
+                f"{info.k_reduction:>6} {info.out_channels:>6}  {path}"
             )
+        arena: Optional[ActivationArena] = None
+        if input_hw is not None:
+            arena = self.arena_for(input_hw)
+        elif self._arenas:
+            (input_hw, arena), = list(self._arenas.items())[:1]
+        if arena is not None:
+            h, w = input_hw
+            lines += [
+                "",
+                f"activation arena (input {h}x{w}):",
+                f"  planned host peak  : {arena.planned_bytes(batch_size)} bytes"
+                f" (batch {batch_size}, {arena.bytes_per_image()} per image)",
+                f"  logical RW peak    : {arena.logical_rw_peak_bytes} bytes"
+                f" (paper Eq. 7, packed codes)",
+            ]
         return "\n".join(lines)

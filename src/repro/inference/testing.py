@@ -26,6 +26,7 @@ from repro.inference.engine import (
     IntegerNetwork,
 )
 from repro.models.model_zoo import NetworkSpec
+from repro.nn.functional import conv_output_size
 
 
 def _target_multiplier(k_reduction: int, in_bits: int, out_bits: int, w_bits: int) -> float:
@@ -138,6 +139,82 @@ def random_linear_layer(
         bias=rng.normal(0.0, 0.1, size=out_features),
         in_bits=in_bits,
         w_bits=w_bits,
+    )
+
+
+def random_network(
+    rng: np.random.Generator,
+    resolution: int = 12,
+    in_channels: int = 3,
+    max_layers: int = 4,
+    act_bits: int = 8,
+    w_bits: int = 8,
+    num_classes: int = 4,
+    strategy: str = "mixed",
+    per_channel: bool = True,
+) -> IntegerNetwork:
+    """A random-*topology* integer network (not just random weights).
+
+    Layer kinds (conv/dw/pw), kernel sizes, strides, paddings and channel
+    counts are all drawn at random, with strides/paddings constrained so
+    the spatial size never collapses below 1x1 at the given
+    ``resolution``.  ``strategy="mixed"`` additionally draws the
+    requantization strategy per layer (ICN / folded-BN / thresholds), so
+    a single network exercises every compiled requant path.  This is the
+    adversarial counterpart of :func:`integer_network_from_spec` used by
+    the arena-safety property tests.
+    """
+    layers = []
+    h = int(resolution)
+    c_in = int(in_channels)
+    n_layers = int(rng.integers(1, max_layers + 1))
+    for i in range(n_layers):
+        kind = str(rng.choice(["conv", "dw", "pw"]))
+        if kind == "pw":
+            kernel, padding = 1, 0
+        else:
+            kernel = int(rng.choice([1, 3, 5]))
+            padding = int(rng.integers(0, kernel // 2 + 1))
+        stride = int(rng.choice([1, 2]))
+        if conv_output_size(h, kernel, stride, padding) < 1:
+            stride = 1
+            padding = max(padding, (kernel - h + 1) // 2)
+        if conv_output_size(h, kernel, stride, padding) < 1:
+            kernel, padding = 1, 0
+        c_out = c_in if kind == "dw" else int(rng.choice([3, 5, 8]))
+        layer_strategy = (
+            str(rng.choice(["icn", "folded", "thr"])) if strategy == "mixed"
+            else strategy
+        )
+        layers.append(
+            random_conv_layer(
+                rng,
+                kind=kind,
+                c_in=c_in,
+                c_out=c_out,
+                kernel=kernel,
+                stride=stride,
+                padding=padding,
+                in_bits=act_bits,
+                out_bits=act_bits,
+                w_bits=w_bits,
+                per_channel=per_channel and layer_strategy != "folded",
+                strategy=layer_strategy,
+                name=f"L{i}_{kind}",
+            )
+        )
+        h = conv_output_size(h, kernel, stride, padding)
+        c_in = c_out if kind != "dw" else c_in
+    return IntegerNetwork(
+        conv_layers=layers,
+        pool=IntegerAvgPool(),
+        classifier=random_linear_layer(
+            rng, c_in, num_classes,
+            in_bits=act_bits, w_bits=w_bits, per_channel=per_channel,
+        ),
+        input_scale=1.0 / 255.0,
+        input_zero_point=0,
+        input_bits=act_bits,
     )
 
 

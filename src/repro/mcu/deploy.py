@@ -46,6 +46,26 @@ def check_fit(spec: NetworkSpec, policy: QuantPolicy, device: MCUDevice) -> bool
     return MemoryModel(spec).fits(policy, device.flash_bytes, device.ram_bytes)
 
 
+def assert_arena_fits(plan, device: MCUDevice, input_hw) -> int:
+    """Assert a *compiled* plan's activation peak fits the device RAM.
+
+    ``plan`` is an :class:`~repro.inference.plan.ExecutionPlan`; the
+    check uses the arena's logical (Eq. 7, packed-code) RW peak — the
+    runtime counterpart of :func:`check_fit`'s analytical term, derived
+    from the actual compiled layer stack instead of a
+    :class:`NetworkSpec`.  Returns the peak in bytes; raises
+    ``ValueError`` when it exceeds the device's RW budget.
+    """
+    peak = plan.arena_for(input_hw).logical_rw_peak_bytes
+    if peak > device.ram_bytes:
+        raise ValueError(
+            f"activation arena peak {peak} B exceeds {device.name} "
+            f"RW budget {device.ram_bytes} B for input "
+            f"{int(input_hw[0])}x{int(input_hw[1])}"
+        )
+    return peak
+
+
 def deploy(
     spec: NetworkSpec,
     device: MCUDevice,

@@ -24,7 +24,13 @@ def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kh: int, kw: int, stride: int, pad: int, contiguous: bool = True
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    contiguous: bool = True,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Unfold ``x`` (N, C, H, W) into columns of shape (N, C*kh*kw, OH*OW).
 
@@ -34,6 +40,10 @@ def im2col(
     ``matmul``) skip one full copy of the unfolded tensor.  Overlapping
     kernels still copy inside ``reshape`` (the strided view cannot be
     reshaped in place), so the flag only elides the redundant second copy.
+
+    With ``out`` the unfolded columns are written into the caller's
+    preallocated ``(N, C*kh*kw, OH*OW)`` buffer (an activation-arena
+    slab) instead of a fresh allocation; ``out`` is returned.
     """
     n, c, h, w = x.shape
     oh = conv_output_size(h, kh, stride, pad)
@@ -48,6 +58,14 @@ def im2col(
         strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
         writeable=False,
     )
+    if out is not None:
+        if out.shape != (n, c * kh * kw, oh * ow):
+            raise ValueError(
+                f"im2col out buffer has shape {out.shape}, "
+                f"expected {(n, c * kh * kw, oh * ow)}"
+            )
+        np.copyto(out.reshape(n, c, kh, kw, oh, ow), view)
+        return out
     cols = view.reshape(n, c * kh * kw, oh * ow)
     if contiguous:
         return np.ascontiguousarray(cols)

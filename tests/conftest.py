@@ -3,10 +3,21 @@ fake-quantized model reused across integration tests."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 import repro
+
+# Hypothesis effort profiles, selected via HYPOTHESIS_PROFILE (CI runs
+# "fast" on pull requests and "thorough" on pushes to main).  Tests that
+# pin their own @settings(max_examples=...) override the profile.
+settings.register_profile("fast", max_examples=25, deadline=None)
+settings.register_profile("thorough", max_examples=200, deadline=None)
+settings.register_profile("default", max_examples=50, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 from repro.core.policy import QuantMethod, QuantPolicy
 from repro.data import make_synthetic_classification
 from repro.training import QATConfig, QATTrainer, TrainConfig, Trainer, prepare_qat

@@ -172,3 +172,25 @@ def test_property_codes_in_grid(t, bits, rounding):
     scale, zp = compute_affine_params(a, b, spec)
     q = quantize_affine(np.clip(t, a, b), scale, zp, spec, rounding=rounding)
     assert q.min() >= spec.qmin and q.max() <= spec.qmax
+
+
+@pytest.mark.parametrize(
+    "a,b",
+    [
+        (0.0, 5e-324),      # positive subnormal span underflowing the divide
+        (-5e-324, 0.0),
+        (-1.7e308, 1.7e308),  # span overflowing to inf
+    ],
+)
+def test_degenerate_float_ranges_stay_on_grid(a, b):
+    """Regression (hypothesis-found): a positive-but-subnormal span used
+    to underflow to scale == 0, whose zero-point divide produced
+    NaN -> INT64_MIN codes; scale must stay strictly positive and every
+    code must land inside the grid."""
+    for bits in (2, 4, 8):
+        spec = QuantSpec(bits=bits)
+        scale, zp = compute_affine_params(a, b, spec)
+        assert np.all(np.asarray(scale) > 0)
+        for rounding in ("round", "floor"):
+            q = quantize_affine(np.array([a, b]), scale, zp, spec, rounding=rounding)
+            assert q.min() >= spec.qmin and q.max() <= spec.qmax

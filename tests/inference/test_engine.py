@@ -102,3 +102,76 @@ class TestExport:
             entry["weights_packed"], entry["w_bits"], int(np.prod(entry["weight_shape"]))
         ).reshape(entry["weight_shape"])
         assert np.array_equal(back, layer.params.weights_q)
+
+
+class TestWeightShiftCaching:
+    """The interpreted reference path must shift each weight tensor once,
+    not on every forward (regression for the per-call re-shift)."""
+
+    @pytest.fixture()
+    def counted_net(self, monkeypatch):
+        from repro.inference import testing as t
+        import repro.inference.engine as eng
+
+        net = t.random_network(np.random.default_rng(21), resolution=10)
+        calls = []
+        real = eng.shift_weights
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(eng, "shift_weights", counting)
+        return net, calls
+
+    def test_forward_shifts_each_weight_tensor_exactly_once(self, counted_net):
+        net, calls = counted_net
+        x = np.random.default_rng(22).uniform(0, 1, size=(2, 3, 10, 10))
+        ref = net.forward(x)
+        shifts_after_first = len(calls)
+        # One shift per conv layer plus one for the classifier; repeat
+        # forwards must not add any.
+        assert shifts_after_first == len(net.conv_layers) + 1
+        assert np.array_equal(net.forward(x), ref)
+        assert np.array_equal(net.forward(x), ref)
+        assert len(calls) == shifts_after_first
+
+    def test_replacing_weight_tensor_invalidates_cache(self, counted_net):
+        net, calls = counted_net
+        x = np.random.default_rng(23).uniform(0, 1, size=(1, 3, 10, 10))
+        net.forward(x)
+        baseline = len(calls)
+        layer = net.conv_layers[0]
+        layer.params.weights_q = layer.params.weights_q.copy()
+        net.forward(x)
+        assert len(calls) == baseline + 1  # only the swapped tensor re-shifts
+
+    def test_cached_path_matches_compiled_plan(self, counted_net):
+        net, _ = counted_net
+        x = np.random.default_rng(24).uniform(0, 1, size=(2, 3, 10, 10))
+        assert np.array_equal(net.forward(x), net.compile().run(x))
+
+
+class TestExportActivationPlan:
+    def test_export_carries_arena_section(self):
+        from repro.inference.testing import integer_network_from_spec
+        from repro.models.model_zoo import mobilenet_v1_spec
+
+        spec = mobilenet_v1_spec(32, 0.25, num_classes=5)
+        net = integer_network_from_spec(spec, np.random.default_rng(0))
+        exported = export_network(net, input_hw=(32, 32))
+        arena = exported["arena"]
+        assert arena["input_hw"] == [32, 32]
+        assert arena["rw_peak_bytes"] == max(arena["per_layer_rw_bytes"])
+        # The export's plan agrees with the compiled plan's arena.
+        plan = net.compile(input_hw=(32, 32))
+        assert arena["rw_peak_bytes"] == plan.arena_for((32, 32)).logical_rw_peak_bytes
+        for entry in exported["conv_layers"]:
+            act = entry["activations"]
+            assert act["rw_bytes"] > 0
+            assert len(act["in_shape"]) == len(act["out_shape"]) == 3
+
+    def test_export_without_input_hw_unchanged(self, integer_net):
+        exported = export_network(integer_net)
+        assert "arena" not in exported
+        assert all("activations" not in e for e in exported["conv_layers"])

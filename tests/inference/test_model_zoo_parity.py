@@ -1,0 +1,64 @@
+"""Golden parity sweep: compiled-plan outputs vs. the interpreted
+``IntegerNetwork`` reference for every model-zoo configuration, plus the
+``run_batched`` tiling edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.inference.testing import integer_network_from_spec
+from repro.models.model_zoo import all_mobilenet_configs, mobilenet_v1_spec
+
+# All 16 paper configurations.  The layer *stack* (channel counts,
+# kernels, strides) is what varies across configs; the evaluation input
+# is kept at 32x32 so the interpreted int64 reference stays fast — the
+# spec resolution only parameterises the analytical models, not the
+# synthetic deployment graph.
+_CONFIGS = all_mobilenet_configs(num_classes=5)
+
+
+@pytest.mark.parametrize("spec", _CONFIGS, ids=lambda s: s.label)
+def test_model_zoo_config_compiled_matches_interpreted(spec):
+    seed = spec.resolution * 100 + int(spec.width_multiplier * 100)
+    net = integer_network_from_spec(spec, np.random.default_rng(seed))
+    x = np.random.default_rng(seed + 1).uniform(0, 1, size=(2, 3, 32, 32))
+    ref = net.forward(x)
+    plan = net.compile()
+    assert np.array_equal(ref, plan.run(x))
+    assert np.array_equal(np.argmax(ref, axis=1), plan.predict(x))
+
+
+@pytest.fixture(scope="module")
+def small_plan():
+    spec = mobilenet_v1_spec(32, 0.25, num_classes=5)
+    net = integer_network_from_spec(spec, np.random.default_rng(0))
+    return net, net.compile()
+
+
+class TestRunBatchedEdgeCases:
+    N = 7
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return np.random.default_rng(2).uniform(0, 1, size=(self.N, 3, 32, 32))
+
+    @pytest.mark.parametrize(
+        "batch_size",
+        [1, N, N + 5, 3],  # batch 1, batch == N, batch > N, non-divisible
+        ids=["one", "equal", "larger", "ragged"],
+    )
+    def test_tilings_match_single_shot(self, small_plan, sweep, batch_size):
+        _, plan = small_plan
+        assert np.array_equal(
+            plan.run(sweep), plan.run_batched(sweep, batch_size=batch_size)
+        )
+
+    def test_empty_sweep(self, small_plan):
+        _, plan = small_plan
+        out = plan.run_batched(np.zeros((0, 3, 32, 32)), batch_size=4)
+        assert out.shape[0] == 0
+
+    def test_batched_output_is_one_preallocated_array(self, small_plan, sweep):
+        _, plan = small_plan
+        out = plan.run_batched(sweep, batch_size=2)
+        assert out.flags["C_CONTIGUOUS"] and out.flags["OWNDATA"]
+        assert out.shape == (self.N, 5)
