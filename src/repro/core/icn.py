@@ -221,7 +221,9 @@ def compute_icn_params(
         z_w_arr = np.full(c_o, int(z_w_arr[0]), dtype=np.int64)
 
     return ICNParams(
-        weights_q=np.asarray(weights_q, dtype=np.int64),
+        # Keep the quantizer's narrow container dtype (uint8 for <= 8-bit
+        # codes); the kernels widen on the fly inside their GEMM loops.
+        weights_q=np.asarray(weights_q),
         z_w=z_w_arr,
         z_x=int(z_x),
         z_y=int(z_y),
@@ -257,7 +259,7 @@ def compute_folded_params(
     bq = np.round(_as_channel_vector(folded_bias, c_o) / (s_in * s_w)).astype(np.int64)
     m0, n0 = quantize_multiplier(np.array([s_in * s_w / s_out]))
     return FoldedBNParams(
-        weights_q=np.asarray(weights_folded_q, dtype=np.int64),
+        weights_q=np.asarray(weights_folded_q),
         z_w=int(z_w),
         z_x=int(z_x),
         z_y=int(z_y),

@@ -62,6 +62,15 @@ class QuantSpec:
     def levels(self) -> int:
         return 2 ** self.bits
 
+    @property
+    def container_dtype(self) -> np.dtype:
+        """Narrowest numpy dtype that stores this format's codes (the
+        physical width quantized tensors occupy on the host — uint8 for
+        every unsigned width the paper deploys)."""
+        from repro.inference.packing import container_dtype
+
+        return container_dtype(self.bits, signed=self.signed)
+
 
 def compute_affine_params(
     a: np.ndarray | float,
@@ -108,14 +117,17 @@ def quantize_affine(
     """Map a real tensor onto its integer representation.
 
     ``rounding`` is ``"round"`` for weights and ``"floor"`` for activations
-    (paper §3).
+    (paper §3).  Codes come back in the spec's narrow
+    :attr:`~QuantSpec.container_dtype` (uint8 for UINT-Q, Q <= 8), not
+    int64 — the container width is what deployment blobs and the
+    activation arena account for.
     """
     if rounding not in ("round", "floor"):
         raise ValueError(f"unknown rounding mode {rounding!r}")
     q = np.asarray(t, dtype=np.float64) / scale
     q = np.floor(q) if rounding == "floor" else np.round(q)
     q = q + zero_point
-    return np.clip(q, spec.qmin, spec.qmax).astype(np.int64)
+    return np.clip(q, spec.qmin, spec.qmax).astype(spec.container_dtype)
 
 
 def dequantize_affine(

@@ -6,25 +6,31 @@ pair is alive, and the binding RAM term is the *maximum over layers* of
 that pair's packed size.  The seed engine (and the PR-1 compiled plan)
 instead allocated fresh activation and scratch buffers on every layer of
 every call, so host peak memory tracked allocator behaviour rather than
-the model.
+the model — and held every code in int64, 8x the container width the
+model accounts for.
 
 This module plans that behaviour statically, at compile time:
 
 * :func:`plan_activations` cascades the input geometry through the layer
   stack once and records, per layer, the activation shapes plus every
   scratch buffer the compiled kernels need (padded/shifted input, im2col
-  columns or fused-stencil tap temporary, GEMM accumulator);
-* :class:`ActivationArena` turns that plan into four preallocated slabs —
-  a ping-pong pair of int64 code buffers (the Eq. 7 input/output pair)
-  and pad/cols/acc scratch — each sized to the worst layer, reused by
-  every subsequent call;
+  columns or fused-stencil tap temporary, GEMM accumulator, requantization
+  scratch);
+* :class:`ActivationArena` turns that plan into preallocated slabs: a
+  ping-pong pair of *container-width* code slabs (uint8 for every <=8-bit
+  activation — the Eq. 7 input/output pair at its true physical width,
+  sized per slot), pad/cols/acc scratch sized to the worst layer, and a
+  small fixed requantization scratch; every slab is reused by every
+  subsequent call;
 * :func:`logical_rw_peak_bytes` evaluates the *paper's* Eq. 7 over the
   same per-layer plan, using the identical packed-tensor formula as
   :mod:`repro.core.memory_model` (imported, not reimplemented), so the
   arena and the analytical model cannot drift — the tests assert the two
-  agree layer for layer on every model-zoo spec.
+  agree layer for layer on every model-zoo spec, and that for a pure
+  8-bit network the ping-pong pair's *physical* bytes equal the Eq. 7
+  peak exactly (:meth:`ActivationArena.physical_code_bytes`).
 
-Buffers are raw ``uint8`` slabs viewed at the per-layer GEMM dtype, so a
+Buffers are raw ``uint8`` slabs viewed at the per-layer dtype, so a
 float32-tier depthwise layer and a float64 pointwise layer share the same
 storage.  ``ensure(batch)`` grows the slabs monotonically; the planned
 peak for a given tile size is exact and is what ``run_batched`` is
@@ -44,9 +50,17 @@ from repro.inference.kernels import (
     blas_gemm_is_exact,
     gemm_reduction_length,
 )
+from repro.inference.packing import container_dtype
 from repro.nn.functional import conv_output_size
 
 _INT64_BYTES = np.dtype(np.int64).itemsize
+
+#: Target size of one requantization tile.  The narrow-native plan
+#: requantizes the accumulator in cache-blocked chunks through a small
+#: int64 scratch (Eq. 5 needs 64-bit intermediates for the Q31 multiply)
+#: and stores straight into the container-width code slab — instead of
+#: round-tripping the whole layer through an out-sized int64 buffer.
+REQUANT_SCRATCH_BYTES = 512 << 10
 
 
 @dataclass(frozen=True)
@@ -55,6 +69,13 @@ class LayerGeometry:
 
     Decoupled from the compiled layer objects so the deployment export
     can plan activations for a serialised network without compiling it.
+    ``gemm_itemsize`` is the byte width of the layer's GEMM operands and
+    accumulator (float32/float64/int32/int64 depending on dispatch);
+    ``out_itemsize`` the container width its output codes are stored at
+    (1 for every <=8-bit activation under the narrow-native plan, 8 for
+    the legacy wide plan); ``requant_kind`` selects the requantization
+    scratch requirement (``"fixed"`` fixed-point Eq. 5, ``"thr"``
+    thresholds, ``""`` for fc).
     """
 
     name: str
@@ -67,8 +88,13 @@ class LayerGeometry:
     padding: int
     in_bits: int
     out_bits: int
-    gemm_itemsize: int  # bytes per scratch element (float32/float64/int64)
+    gemm_itemsize: int  # bytes per scratch element (float32/float64/int32/int64)
     fused: bool  # depthwise stencil path (no im2col columns)
+    out_itemsize: int = 1  # container bytes per output code
+    requant_kind: str = "fixed"
+    #: Split-K sgemm layer: needs an output-sized float32 chunk buffer in
+    #: the cols slab (its 1x1 unfold is otherwise a pure view).
+    split_k: bool = False
 
     @classmethod
     def from_compiled(cls, layer) -> "LayerGeometry":
@@ -84,8 +110,16 @@ class LayerGeometry:
             padding=layer.padding,
             in_bits=layer.in_bits,
             out_bits=layer.out_bits,
-            gemm_itemsize=np.dtype(layer.gemm_dtype).itemsize,
+            # Slabs are sized at the wider of the operand and accumulator
+            # dtypes (they differ only for split-K sgemm layers).
+            gemm_itemsize=max(
+                np.dtype(layer.gemm_dtype).itemsize,
+                np.dtype(getattr(layer, "acc_dtype", layer.gemm_dtype)).itemsize,
+            ),
             fused=getattr(layer, "fused", False),
+            out_itemsize=np.dtype(layer.out_dtype).itemsize,
+            requant_kind=getattr(layer, "requant_kind", "fixed"),
+            split_k=getattr(layer, "split_k", None) is not None,
         )
 
     @classmethod
@@ -100,9 +134,11 @@ class LayerGeometry:
         w_bits: int,
         out_bits: int,
         fused_depthwise: bool = True,
+        requant_kind: str = "fixed",
     ) -> "LayerGeometry":
-        """Geometry from a raw weight shape, using the auto GEMM dispatch
-        (what a fresh ``compile()`` of the network would pick)."""
+        """Geometry from a raw weight shape, using the a-priori GEMM
+        dispatch (what a fresh ``compile()`` of the network would pick
+        before the weight-data bound refinement, which needs the codes)."""
         if kind == "fc":
             c_in, c_out = int(weight_shape[1]), int(weight_shape[0])
             kh = kw = 1
@@ -130,6 +166,8 @@ class LayerGeometry:
             out_bits=int(out_bits),
             gemm_itemsize=itemsize,
             fused=fused_depthwise and kind == "dw",
+            out_itemsize=container_dtype(int(out_bits)).itemsize,
+            requant_kind=requant_kind,
         )
 
 
@@ -139,7 +177,10 @@ class LayerActivationPlan:
 
     ``pad_elems``/``cols_elems``/``acc_elems`` are the host scratch
     buffers of the compiled kernels; ``in_shape``/``out_shape`` are the
-    logical activation tensors of the paper's Eq. 7.
+    logical activation tensors of the paper's Eq. 7.  ``out_itemsize``
+    is the container width of the layer's output codes (what the
+    ping-pong slab physically stores), ``requant_bytes`` the fixed
+    (batch-independent) int64 requantization scratch this layer needs.
     """
 
     name: str
@@ -152,6 +193,8 @@ class LayerActivationPlan:
     cols_elems: int
     acc_elems: int
     gemm_itemsize: int
+    out_itemsize: int = 1
+    requant_bytes: int = 0
 
     @property
     def in_elems(self) -> int:
@@ -169,6 +212,29 @@ class LayerActivationPlan:
         return activation_rw_bytes(
             self.in_elems, self.in_bits, self.out_elems, self.out_bits
         )
+
+    @property
+    def physical_out_bytes(self) -> int:
+        """Host bytes of the output codes at their container width."""
+        return self.out_elems * self.out_itemsize
+
+
+def requant_scratch_bytes(kind: str, requant_kind: str, c_out: int,
+                           out_elems: int, out_itemsize: int) -> int:
+    """Fixed int64 scratch one layer's chunked requantization needs.
+
+    Fixed-point layers tile the accumulator into ~``REQUANT_SCRATCH_BYTES``
+    chunks (never smaller than one (C, 1) column so the per-channel
+    constants broadcast); threshold layers consume one whole image at a
+    time (per-channel ``searchsorted`` wants contiguous rows).  Legacy
+    wide layers (int64 containers) requantize in place and need none.
+    """
+    if kind == "fc" or out_itemsize >= _INT64_BYTES:
+        return 0
+    if requant_kind == "thr":
+        return out_elems * _INT64_BYTES
+    return max(c_out * _INT64_BYTES,
+               min(out_elems * _INT64_BYTES, REQUANT_SCRATCH_BYTES))
 
 
 def plan_activations(
@@ -196,6 +262,8 @@ def plan_activations(
                     cols_elems=0,
                     acc_elems=0,
                     gemm_itemsize=g.gemm_itemsize,
+                    out_itemsize=g.out_itemsize,
+                    requant_bytes=0,
                 )
             )
             continue
@@ -212,7 +280,9 @@ def plan_activations(
             # the cols slab, which the fused path never uses for columns.
             cols_elems = out_elems
         elif g.kh == 1 and g.kw == 1 and g.stride == 1:
-            cols_elems = 0  # im2col of a 1x1/s1 kernel is a pure view
+            # im2col of a 1x1/s1 kernel is a pure view; split-K layers
+            # repurpose the cols slab as their sgemm chunk buffer.
+            cols_elems = out_elems if g.split_k else 0
         else:
             cols_elems = g.in_channels * g.kh * g.kw * oh * ow
         plans.append(
@@ -227,6 +297,11 @@ def plan_activations(
                 cols_elems=cols_elems,
                 acc_elems=out_elems,
                 gemm_itemsize=g.gemm_itemsize,
+                out_itemsize=g.out_itemsize,
+                requant_bytes=requant_scratch_bytes(
+                    g.kind, g.requant_kind, g.out_channels, out_elems,
+                    g.out_itemsize,
+                ),
             )
         )
         h, w = oh, ow
@@ -249,13 +324,18 @@ def logical_rw_peak_bytes(plans: Sequence[LayerActivationPlan]) -> int:
 class ActivationArena:
     """Preallocated ping-pong + scratch slabs for one input geometry.
 
-    Four raw ``uint8`` slabs, each sized per batch element at plan time:
+    Raw ``uint8`` slabs, sized per batch element at plan time:
 
     ``codes`` (x2)
-        The ping-pong int64 activation-code pair.  Layer ``i`` reads its
-        input codes from slot ``(i-1) % 2`` and writes its requantized
-        output into slot ``i % 2`` — the host mirror of the paper's
-        output-stationary input/output activation pair.
+        The ping-pong activation-code pair at *container width*: slot
+        ``s`` is sized to the largest output (uint8 codes for <=8-bit
+        activations) among the layers that write it (layer ``i`` reads
+        its input codes from slot ``(i-1) % 2`` and writes its
+        requantized output into slot ``i % 2``) — the host mirror of the
+        paper's output-stationary input/output activation pair.  For a
+        pure 8-bit chain the pair's physical bytes equal the Eq. 7 peak
+        exactly (no int64 inflation); sub-byte activations keep the
+        one-byte container, so physical >= logical there.
     ``pad``
         Zero-point-shifted (and zero-padded) input in the layer's GEMM
         dtype.
@@ -263,8 +343,11 @@ class ActivationArena:
         im2col columns — or, for the fused depthwise path, the
         output-sized tap temporary.
     ``acc``
-        The float GEMM accumulator (unused by int64-backend layers,
-        which contract straight into the codes slab).
+        The GEMM accumulator (float tier, int32, or int64 depending on
+        the layer's dispatch).
+    ``requant scratch``
+        A small *fixed-size* int64 buffer the chunked requantization
+        tiles the accumulator through (batch-independent).
 
     ``ensure`` grows capacity monotonically; views are handed out per
     call, sliced to the live batch, so a smaller batch reuses the same
@@ -274,9 +357,10 @@ class ActivationArena:
     def __init__(self, plans: Sequence[LayerActivationPlan]):
         self.plans: List[LayerActivationPlan] = list(plans)
         conv = [p for p in self.plans if p.kind != "fc"]
-        self.code_bytes_per_image = max(
-            (p.out_elems for p in conv), default=0
-        ) * _INT64_BYTES
+        self.code_slot_bytes_per_image = [
+            max((p.physical_out_bytes for p in conv[s::2]), default=0)
+            for s in (0, 1)
+        ]
         self.pad_bytes_per_image = max(
             (p.pad_elems * p.gemm_itemsize for p in conv), default=0
         )
@@ -286,30 +370,49 @@ class ActivationArena:
         self.acc_bytes_per_image = max(
             (p.acc_elems * p.gemm_itemsize for p in conv), default=0
         )
+        self.requant_scratch_bytes = max(
+            (p.requant_bytes for p in conv), default=0
+        )
         self.capacity = 0
         self._codes: List[Optional[np.ndarray]] = [None, None]
         self._pad: Optional[np.ndarray] = None
         self._cols: Optional[np.ndarray] = None
         self._acc: Optional[np.ndarray] = None
+        self._requant: Optional[np.ndarray] = None
 
     # -- sizing --------------------------------------------------------
     def bytes_per_image(self) -> int:
-        """Planned host bytes per batch element, all slabs included."""
+        """Planned host bytes per batch element, all growing slabs."""
         return (
-            2 * self.code_bytes_per_image
+            sum(self.code_slot_bytes_per_image)
             + self.pad_bytes_per_image
             + self.cols_bytes_per_image
             + self.acc_bytes_per_image
         )
 
+    @property
+    def fixed_bytes(self) -> int:
+        """Batch-independent slab bytes (the requantization scratch)."""
+        return self.requant_scratch_bytes
+
     def planned_bytes(self, batch_size: int) -> int:
         """Compile-time peak host activation bytes for a given tile size."""
-        return self.bytes_per_image() * int(batch_size)
+        return self.bytes_per_image() * int(batch_size) + self.fixed_bytes
+
+    def physical_code_bytes(self, batch_size: int = 1) -> int:
+        """Physical bytes of the ping-pong code pair at container width.
+
+        The runtime counterpart of Eq. 7's input/output activation pair:
+        for a pure 8-bit network this equals
+        :attr:`logical_rw_peak_bytes` exactly (asserted by the tests and
+        by :func:`repro.mcu.deploy.assert_arena_fits`).
+        """
+        return sum(self.code_slot_bytes_per_image) * int(batch_size)
 
     @property
     def allocated_bytes(self) -> int:
         """Bytes actually held right now (== planned at current capacity)."""
-        return self.planned_bytes(self.capacity)
+        return self.planned_bytes(self.capacity) if self.capacity else 0
 
     @property
     def logical_rw_peak_bytes(self) -> int:
@@ -323,12 +426,16 @@ class ActivationArena:
         if n <= self.capacity:
             return
         self._codes = [
-            np.empty(n * self.code_bytes_per_image, dtype=np.uint8),
-            np.empty(n * self.code_bytes_per_image, dtype=np.uint8),
+            np.empty(n * self.code_slot_bytes_per_image[0], dtype=np.uint8),
+            np.empty(n * self.code_slot_bytes_per_image[1], dtype=np.uint8),
         ]
         self._pad = np.empty(n * self.pad_bytes_per_image, dtype=np.uint8)
         self._cols = np.empty(n * self.cols_bytes_per_image, dtype=np.uint8)
         self._acc = np.empty(n * self.acc_bytes_per_image, dtype=np.uint8)
+        if self._requant is None and self.requant_scratch_bytes:
+            self._requant = np.empty(
+                self.requant_scratch_bytes // _INT64_BYTES, dtype=np.int64
+            )
         self.capacity = n
 
     @staticmethod
@@ -342,8 +449,8 @@ class ActivationArena:
         return slab[:nbytes].view(dtype).reshape(shape)
 
     # -- per-call views ------------------------------------------------
-    def codes(self, slot: int, shape: Tuple[int, ...]) -> np.ndarray:
-        return self._view(self._codes[slot % 2], np.int64, shape)
+    def codes(self, slot: int, shape: Tuple[int, ...], dtype=np.int64) -> np.ndarray:
+        return self._view(self._codes[slot % 2], dtype, shape)
 
     def pad(self, dtype, shape: Tuple[int, ...]) -> np.ndarray:
         return self._view(self._pad, dtype, shape)
@@ -353,3 +460,9 @@ class ActivationArena:
 
     def acc(self, dtype, shape: Tuple[int, ...]) -> np.ndarray:
         return self._view(self._acc, dtype, shape)
+
+    def requant_scratch(self) -> np.ndarray:
+        """The flat int64 requantization scratch (fixed size per arena)."""
+        if self._requant is None:
+            raise ValueError("arena was planned without requantization scratch")
+        return self._requant

@@ -43,8 +43,11 @@ def _gemm_weight_dtype(backend: str, k: int, x_bits: int, w_bits: int):
     (None for the int64 path) — lets a layer hand the kernel weights
     already cast to the GEMM dtype, so repeated forwards skip both the
     per-call zero-point shift *and* the per-call dtype cast."""
-    if resolve_gemm_backend(backend, k, x_bits, w_bits) == "blas":
+    resolved = resolve_gemm_backend(backend, k, x_bits, w_bits)
+    if resolved == "blas":
         return blas_gemm_dtype(k, x_bits, w_bits)
+    if resolved == "int32":
+        return np.int32
     return None
 
 
@@ -258,22 +261,27 @@ class IntegerNetwork:
 
     def compile(self, backend: str = "auto", validate: bool = True,
                 use_arena: bool = True, fused_depthwise="auto",
+                narrow: bool = True, refined_bound: bool = True,
                 input_hw=None):
         """Compile the graph into an :class:`~repro.inference.plan.ExecutionPlan`.
 
         The plan precomputes per-layer GEMM-form weights, requantization
-        constants and backend dispatch (float64 BLAS where exact), runs
-        range validation only at the network boundary, routes depthwise
-        layers through the fused stencil kernel, executes inside a static
-        activation arena (planned eagerly when ``input_hw`` is given),
-        and exposes a tiled ``run_batched`` for large sweeps.  Outputs
-        are bit-identical to this interpreted engine.
+        constants and backend dispatch (narrowest exact accumulator under
+        the weight-data refined bound), runs range validation only at the
+        network boundary, routes depthwise layers through the fused
+        stencil kernel, stores activation codes at container width
+        (``narrow=True``; uint8 for the paper's networks), executes
+        inside a static activation arena (planned eagerly when
+        ``input_hw`` is given), and exposes a tiled ``run_batched`` for
+        large sweeps.  Outputs are bit-identical to this interpreted
+        engine.
         """
         from repro.inference.plan import ExecutionPlan
 
         return ExecutionPlan(self, backend=backend, validate=validate,
                              use_arena=use_arena,
                              fused_depthwise=fused_depthwise,
+                             narrow=narrow, refined_bound=refined_bound,
                              input_hw=input_hw)
 
     def weight_storage_bytes(self) -> int:

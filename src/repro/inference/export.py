@@ -9,19 +9,26 @@ matches the analytical memory model.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.icn import FoldedBNParams, ICNParams, ThresholdParams
 from repro.inference.arena import (
+    ActivationArena,
     LayerGeometry,
     logical_rw_peak_bytes,
     plan_activations,
 )
 from repro.inference.engine import IntegerNetwork
 from repro.inference.kernels import gemm_reduction_length, resolve_gemm_backend
-from repro.inference.packing import pack_subbyte, packed_size_bytes
+from repro.inference.packing import (
+    container_dtype,
+    pack_subbyte,
+    packed_size_bytes,
+    unpack_subbyte,
+)
 
 # Byte widths of the auxiliary arrays (§4.1 of the paper).
 _BYTES = {"bq": 4, "m0": 4, "n0": 1, "thr": 4, "z_scalar": 1, "z_pc": 2}
@@ -70,6 +77,9 @@ def _network_geometries(net: IntegerNetwork) -> List[LayerGeometry]:
             in_bits=layer.in_bits, w_bits=layer.params.w_bits,
             out_bits=layer.out_bits,
             fused_depthwise=False,
+            requant_kind=(
+                "thr" if isinstance(layer.params, ThresholdParams) else "fixed"
+            ),
         )
         for layer in net.conv_layers
     ]
@@ -109,6 +119,10 @@ def export_network(net: IntegerNetwork, input_hw: Optional[Tuple[int, int]] = No
             "weight_shape": list(w_shape),
             "weights_packed": pack_subbyte(p.weights_q, p.w_bits),
             "weight_bytes": packed_size_bytes(int(p.weights_q.size), p.w_bits),
+            # Narrow container the packed blob unpacks into on the host
+            # (uint8 for every paper width — never int64).
+            "container_dtype": container_dtype(p.w_bits).name,
+            "weights_crc32": zlib.crc32(pack_subbyte(p.weights_q, p.w_bits).tobytes()),
             "aux_bytes": _layer_aux_bytes(p),
             "strategy": type(p).__name__,
             # Host-emulation dispatch decision (recorded so a firmware
@@ -130,6 +144,8 @@ def export_network(net: IntegerNetwork, input_hw: Optional[Tuple[int, int]] = No
             "weight_shape": list(cl.weights_q.shape),
             "weights_packed": pack_subbyte(cl.weights_q, cl.w_bits),
             "weight_bytes": packed_size_bytes(int(cl.weights_q.size), cl.w_bits),
+            "container_dtype": container_dtype(cl.w_bits).name,
+            "weights_crc32": zlib.crc32(pack_subbyte(cl.weights_q, cl.w_bits).tobytes()),
             "aux_bytes": int(np.asarray(cl.s_w).size) * (_BYTES["bq"] + _BYTES["z_pc"])
             + (0 if cl.bias is None else cl.bias.size * 4),
             "strategy": "linear",
@@ -147,13 +163,66 @@ def export_network(net: IntegerNetwork, input_hw: Optional[Tuple[int, int]] = No
                 "in_shape": list(p.in_shape),
                 "out_shape": list(p.out_shape),
                 "rw_bytes": p.rw_bytes,
+                "physical_out_bytes": p.physical_out_bytes,
             }
+        # Physical bytes of the container-width ping-pong pair a
+        # narrow-native runtime allocates for this geometry (equals the
+        # Eq. 7 peak for pure 8-bit networks, >= it for sub-byte).
+        # ActivationArena.__init__ only sizes slabs (no allocation), so
+        # the runtime's own slot-sizing rule is the single source of truth.
+        physical = ActivationArena(plans).physical_code_bytes(1)
         out["arena"] = {
             "input_hw": [int(input_hw[0]), int(input_hw[1])],
             "rw_peak_bytes": logical_rw_peak_bytes(plans),
+            "physical_code_bytes": physical,
             "per_layer_rw_bytes": [p.rw_bytes for p in plans],
         }
     return out
+
+
+def validate_export(exported: Dict) -> Dict[str, int]:
+    """Validate the packed narrow weight blobs of an exported network.
+
+    For every conv layer and the classifier: the packed blob must have
+    exactly the byte length the Table 1 accounting predicts, match its
+    recorded CRC32 (packing masks codes into range by construction, so a
+    checksum — not a range scan — is what detects a corrupted blob),
+    unpack into its declared narrow container dtype, and contain one
+    code per weight element.  Returns summary counts (``layers``,
+    ``weight_bytes``); raises ``ValueError`` on the first violation —
+    the deployment-side integrity check a firmware loader would run
+    before committing the image to Flash.
+    """
+    entries = list(exported["conv_layers"])
+    if "classifier" in exported:
+        entries.append(exported["classifier"])
+    total = 0
+    for entry in entries:
+        name = entry["name"]
+        bits = int(entry["w_bits"])
+        count = int(np.prod(entry["weight_shape"]))
+        blob = np.asarray(entry["weights_packed"], dtype=np.uint8)
+        expected = packed_size_bytes(count, bits)
+        if blob.size != expected or entry["weight_bytes"] != expected:
+            raise ValueError(
+                f"{name}: packed blob is {blob.size} B, expected {expected} B "
+                f"for {count} UINT{bits} codes"
+            )
+        crc = zlib.crc32(blob.tobytes())
+        if crc != int(entry["weights_crc32"]):
+            raise ValueError(
+                f"{name}: packed blob checksum {crc:#010x} does not match the "
+                f"recorded CRC32 {int(entry['weights_crc32']):#010x}"
+            )
+        codes = unpack_subbyte(blob, bits, count)
+        declared = np.dtype(entry["container_dtype"])
+        if codes.dtype != declared or codes.dtype != container_dtype(bits):
+            raise ValueError(
+                f"{name}: blob unpacks to {codes.dtype}, declared container "
+                f"is {declared}"
+            )
+        total += expected
+    return {"layers": len(entries), "weight_bytes": total}
 
 
 def deployment_size_bytes(net: IntegerNetwork) -> Dict[str, int]:

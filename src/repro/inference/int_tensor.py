@@ -6,16 +6,24 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.inference.packing import pack_subbyte, packed_size_bytes, unpack_subbyte
+from repro.inference.packing import (
+    container_dtype,
+    pack_subbyte,
+    packed_size_bytes,
+    unpack_subbyte,
+)
 
 
 @dataclass
 class QuantizedTensor:
     """An integer-coded tensor plus its affine quantization parameters.
 
-    ``data`` holds the integer codes (int64 for convenience; the value
+    ``data`` holds the integer codes in the tensor's narrow *container
+    dtype* (uint8 for every UINT-Q width the paper deploys; the value
     range is that of UINT-Q).  ``scale`` and ``zero_point`` give the
     mapping back to real values via ``real = scale * (code - zero_point)``.
+    Sub-byte tensors additionally round-trip through the bit-packed
+    at-rest representation via :meth:`packed_bytes` / :meth:`from_packed`.
     """
 
     data: np.ndarray
@@ -24,16 +32,26 @@ class QuantizedTensor:
     bits: int
 
     def __post_init__(self):
-        self.data = np.asarray(self.data, dtype=np.int64)
+        codes = np.asarray(self.data, dtype=np.int64)
         qmax = 2 ** self.bits - 1
-        if self.data.size and (self.data.min() < 0 or self.data.max() > qmax):
+        if codes.size and (codes.min() < 0 or codes.max() > qmax):
             raise ValueError(
                 f"codes out of the UINT{self.bits} range [0, {qmax}]"
             )
+        self.data = codes.astype(self.container_dtype)
 
     @property
     def shape(self):
         return self.data.shape
+
+    @property
+    def container_dtype(self) -> np.dtype:
+        """Physical storage dtype of the codes (uint8 for Q <= 8)."""
+        return container_dtype(self.bits)
+
+    def container_bytes(self) -> int:
+        """Host bytes of the unpacked codes at container width."""
+        return int(self.data.size) * self.container_dtype.itemsize
 
     def dequantize(self) -> np.ndarray:
         """Real-valued view of the tensor."""

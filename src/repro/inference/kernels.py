@@ -19,15 +19,33 @@ Two GEMM backends produce the identical accumulator:
     representable and the result equals the integer accumulator
     bit-for-bit, regardless of the summation order BLAS picks.  This holds
     for every UINT2/4/8 network the paper deploys.
+``"int32"``
+    Narrow-integer contraction with int32 accumulators — the dtype the
+    extended CMSIS-NN kernels accumulate in on the MCU.  Exact whenever
+    ``bits_w + bits_a + log2(k)`` keeps the worst-case accumulator below
+    ``2^31``; rejected otherwise.  Operands are shifted into int32 and the
+    contraction (K-tiled einsum, or the depthwise stencil) runs natively
+    in int32 — no float detour, half the traffic of the int64 reference.
+
 ``"int64"``
     The original int64 ``einsum`` contraction.  Never dispatches to BLAS
     (10-50x slower) but has no magnitude restriction; it is kept as the
     guarded fallback and as the ground-truth reference the fast path is
-    tested against.
+    tested against.  Large-K contractions are cache-blocked over the
+    reduction axis (:func:`int_einsum_gemm`) so the exact-reference path
+    does not thrash on wide pointwise layers.
 
 ``backend="auto"`` (the default) picks ``"blas"`` exactly when the bound
 holds.  Range validation of the operand codes is opt-in via ``validate``
 so a compiled execution plan can hoist it to the network boundary.
+
+The a-priori bound ``k * (2^Qx - 1) * (2^Qw - 1)`` assumes every weight
+sits at the corner of its code range.  At compile time the actual shifted
+weights are known, and :func:`refined_max_abs_accumulator` tightens the
+bound to ``max_o sum_k |W_ok - Z_w| * max|X - Z_x|`` — every partial sum
+of any BLAS summation order is bounded by it, per output channel, so a
+layer whose a-priori bound demands float64 often drops to the 2x-faster
+float32 tier once its real weights are inspected.
 """
 
 from __future__ import annotations
@@ -46,7 +64,11 @@ FLOAT64_EXACT_BITS = 53
 #: sgemm doubles the throughput / halves the traffic of dgemm.
 FLOAT32_EXACT_BITS = 24
 
-GEMM_BACKENDS = ("auto", "blas", "int64")
+#: Same bound for the int32 accumulator of the MCU kernels: exact while
+#: ``bits_w + bits_a + log2(k)`` stays below 31 (signed).
+INT32_EXACT_BITS = 31
+
+GEMM_BACKENDS = ("auto", "blas", "int32", "int64")
 
 
 def max_abs_accumulator(k_reduction: int, x_bits: int, w_bits: int) -> int:
@@ -58,9 +80,45 @@ def max_abs_accumulator(k_reduction: int, x_bits: int, w_bits: int) -> int:
     return k_reduction * (2 ** x_bits - 1) * (2 ** w_bits - 1)
 
 
+def refined_max_abs_accumulator(w_shift: np.ndarray, z_x: int, x_bits: int) -> int:
+    """Data-dependent worst-case ``|Phi|`` given the actual shifted weights.
+
+    Every partial sum of ``sum_k (X_k - Z_x) W'_ok`` — under *any*
+    summation order and over any subset of terms — is bounded by
+    ``sum_k |W'_ok| * max|X - Z_x|``.  Output channels never mix inside
+    one GEMM row, so the max over channels is a sound per-layer bound,
+    usually far below the a-priori :func:`max_abs_accumulator` corner
+    case.  The compiled plan uses it to pick the narrowest exact
+    accumulator dtype per layer.
+    """
+    x_mag = max(int(z_x), 2 ** x_bits - 1 - int(z_x))
+    w2 = np.asarray(w_shift, dtype=np.int64).reshape(w_shift.shape[0], -1)
+    if w2.size == 0:
+        return 0
+    row = np.abs(w2).sum(axis=1, dtype=np.int64)
+    return int(row.max()) * x_mag
+
+
+def exact_gemm_dtype_for_bound(bound: int):
+    """Narrowest float dtype whose significand holds every partial sum of
+    a reduction with worst-case magnitude ``bound`` (None: no float dtype
+    is exact and the integer fallback must run)."""
+    if bound < (1 << FLOAT32_EXACT_BITS):
+        return np.float32
+    if bound < (1 << FLOAT64_EXACT_BITS):
+        return np.float64
+    return None
+
+
 def blas_gemm_is_exact(k_reduction: int, x_bits: int, w_bits: int) -> bool:
     """Whether a float64 BLAS GEMM reproduces the integer accumulator exactly."""
     return max_abs_accumulator(k_reduction, x_bits, w_bits) < (1 << FLOAT64_EXACT_BITS)
+
+
+def int32_gemm_is_exact(k_reduction: int, x_bits: int, w_bits: int) -> bool:
+    """Whether an int32-accumulator contraction is overflow-free: the
+    ``bits_w + bits_a + log2(k) < 31`` bound of the CMSIS-NN MAC loop."""
+    return max_abs_accumulator(k_reduction, x_bits, w_bits) < (1 << INT32_EXACT_BITS)
 
 
 def blas_gemm_dtype(k_reduction: int, x_bits: int, w_bits: int):
@@ -88,6 +146,12 @@ def resolve_gemm_backend(backend: str, k_reduction: int, x_bits: int, w_bits: in
             f"worst-case |Phi| = {max_abs_accumulator(k_reduction, x_bits, w_bits)} "
             f">= 2^{FLOAT64_EXACT_BITS}"
         )
+    if backend == "int32" and not int32_gemm_is_exact(k_reduction, x_bits, w_bits):
+        raise ValueError(
+            f"int32 accumulation overflows for k={k_reduction}, Qx={x_bits}, "
+            f"Qw={w_bits}: worst-case |Phi| = "
+            f"{max_abs_accumulator(k_reduction, x_bits, w_bits)} >= 2^{INT32_EXACT_BITS}"
+        )
     return backend
 
 
@@ -103,16 +167,18 @@ _check_codes = check_codes
 
 
 def quantize_input_codes(
-    x_real: np.ndarray, scale: float, zero_point: int, bits: int
+    x_real: np.ndarray, scale: float, zero_point: int, bits: int, dtype=np.int64
 ) -> np.ndarray:
     """Quantize real network inputs into UINT-``bits`` codes.
 
     The single boundary quantizer shared by the interpreted engine and
     the compiled plan, so their bit-exactness contract cannot drift.
+    ``dtype`` selects the code container: the interpreted reference keeps
+    int64, the narrow-native plan passes the uint8 container.
     """
     q = np.floor(np.asarray(x_real, dtype=np.float64) / scale)
     q = q + zero_point
-    return np.clip(q, 0, 2 ** bits - 1).astype(np.int64)
+    return np.clip(q, 0, 2 ** bits - 1).astype(dtype)
 
 
 def gemm_reduction_length(kind: str, weight_shape) -> int:
@@ -139,15 +205,66 @@ def shift_weights(w_codes: np.ndarray, z_w: np.ndarray | int, c_out: int) -> np.
     return np.subtract(w_codes, z_w_arr.reshape((-1,) + (1,) * (w_codes.ndim - 1)), dtype=np.int64)
 
 
-#: Route a depthwise layer through the fused stencil when materialising
-#: its im2col column tensor would exceed this many bytes.  While the
-#: unfold stays near cache-resident the batched BLAS contraction is the
-#: faster path; once the kh*kw-fold copy clearly exceeds the last-level
-#: cache the layer turns memory-bound and the stencil (which never
-#: materialises the columns) wins ~1.5-2x.  Sized at ~1.5x a typical
-#: 32 MB L3 — measured: a ~29 MB unfold still favours im2col, a ~58 MB
-#: unfold favours the stencil.
+#: Reduction-axis tile of the integer einsum GEMM.  A plain
+#: ``ok,nkl->nol`` einsum re-streams the whole (K, L) operand from DRAM
+#: for every output row once K*L leaves the last-level cache; tiling K
+#: keeps each (k_block, L) slab hot across all O rows.  Integer addition
+#: is associative, so any tiling is bit-exact.  Measured ~1.5x on a
+#: K=4608 int64 contraction.
+INT_GEMM_K_BLOCK = 512
+
+
+def int_einsum_gemm(
+    w2: np.ndarray,
+    cols: np.ndarray,
+    out: np.ndarray | None = None,
+    k_block: int = INT_GEMM_K_BLOCK,
+) -> np.ndarray:
+    """Exact integer GEMM ``(O, K) @ (N, K, L) -> (N, O, L)``, K-tiled.
+
+    The contraction dtype is the operands' (int64 for the reference
+    backend, int32 for the narrow MCU-accumulator backend).  Reductions
+    with ``K <= k_block`` run as one einsum; larger K accumulates
+    per-tile partials so the exact-reference path stops thrashing on the
+    wide pointwise layers (K = c_in up to 1024 in the model zoo).
+
+    The tiled path allocates one output-sized partial per call — the
+    zero-steady-state-allocation contract of the activation arena covers
+    the default (auto/BLAS) plan; forced integer backends over wide
+    reductions trade that guarantee for the tiling win.
+    """
+    n, k, l = cols.shape
+    if k <= k_block:
+        return np.einsum("ok,nkl->nol", w2, cols, optimize=True, out=out)
+    if out is None:
+        out = np.empty((n, w2.shape[0], l), dtype=np.result_type(w2, cols))
+    np.einsum("ok,nkl->nol", w2[:, :k_block], cols[:, :k_block], optimize=True, out=out)
+    partial = np.empty_like(out)
+    for k0 in range(k_block, k, k_block):
+        k1 = min(k0 + k_block, k)
+        np.einsum("ok,nkl->nol", w2[:, k0:k1], cols[:, k0:k1], optimize=True, out=partial)
+        out += partial
+    return out
+
+
+#: Route a stride-1 depthwise layer through the fused stencil when
+#: materialising its im2col column tensor would exceed this many bytes.
+#: While the unfold stays near cache-resident the batched BLAS
+#: contraction is the faster path; once the kh*kw-fold copy clearly
+#: exceeds the last-level cache the layer turns memory-bound and the
+#: stencil (which never materialises the columns) wins ~1.5-2x.  Sized at
+#: ~1.5x a typical 32 MB L3 — measured: a ~29 MB unfold still favours
+#: im2col, a ~58 MB unfold favours the stencil.
 DW_IM2COL_BYTES_THRESHOLD = 48 << 20
+
+#: Stride-2 stencil threshold.  A strided stencil reads every other
+#: element of each input row (half of every cache line is wasted), but a
+#: stride-2 im2col pays the same wasteful gather *and* materialises the
+#: kh*kw-fold column tensor on top, so the stencil's crossover sits
+#: lower than stride-1: measured on the MobileNetV1 224_1.0 s2 layers, a
+#: ~43 MB unfold favours the stencil ~1.3x while small unfolds still
+#: favour the batched matmul.
+DW_IM2COL_S2_BYTES_THRESHOLD = 24 << 20
 
 #: Batch-blocking target of the stencil: taps iterate inside blocks whose
 #: out/tmp/window working set stays around this size, so the accumulator
@@ -162,14 +279,18 @@ def depthwise_prefers_stencil(
     """Whether the fused stencil beats materialised im2col for this shape
     (the ``fused_depthwise="auto"`` dispatch rule of the compiled plan).
 
-    Strided stencils read non-contiguous windows (SIMD-hostile), while
-    strided im2col shrinks its columns to the output size — so the
-    stencil is only preferred for stride-1 layers whose unfold exceeds
-    the cache threshold.
+    Stride-1 and stride-2 layers dispatch on the size their im2col column
+    tensor would reach, each with its own cache threshold (the strided
+    window reads of a stride-2 stencil are dearer, but so is a stride-2
+    unfold).  Larger strides always take the im2col path.
     """
-    if stride != 1:
+    if stride == 1:
+        threshold = DW_IM2COL_BYTES_THRESHOLD
+    elif stride == 2:
+        threshold = DW_IM2COL_S2_BYTES_THRESHOLD
+    else:
         return False
-    return n * c * kh * kw * oh * ow * itemsize > DW_IM2COL_BYTES_THRESHOLD
+    return n * c * kh * kw * oh * ow * itemsize > threshold
 
 
 def depthwise_stencil_accumulate(
@@ -281,9 +402,12 @@ def int_conv2d(
         # copy=False: a no-op when the caller supplied pre-cast w_shift.
         phi = np.matmul(w2.astype(dtype, copy=False), cols).astype(np.int64)
     else:
-        x_shift = np.subtract(x_codes, int(z_x), dtype=np.int64)
+        idtype = np.int32 if backend == "int32" else np.int64
+        x_shift = np.subtract(x_codes, int(z_x), dtype=idtype)
         cols = im2col(x_shift, kh, kw, stride, padding, contiguous=False)
-        phi = np.einsum("ok,nkl->nol", w2, cols, optimize=True)
+        phi = int_einsum_gemm(w2.astype(idtype, copy=False), cols)
+        if phi.dtype != np.int64:
+            phi = phi.astype(np.int64)
     oh = conv_output_size(h, kh, stride, padding)
     ow = conv_output_size(w, kw, stride, padding)
     return phi.reshape(n, c_out, oh, ow)
@@ -332,10 +456,13 @@ def int_depthwise_conv2d(
         phi = np.matmul(w2.astype(dtype, copy=False)[:, None, :], cols)
         phi = phi.astype(np.int64).reshape(n, c, oh * ow)
     else:
-        x_shift = np.subtract(x_codes, int(z_x), dtype=np.int64)
+        idtype = np.int32 if backend == "int32" else np.int64
+        x_shift = np.subtract(x_codes, int(z_x), dtype=idtype)
         cols = im2col(x_shift, kh, kw, stride, padding, contiguous=False)
         cols = cols.reshape(n, c, kh * kw, oh * ow)
-        phi = np.einsum("ck,nckl->ncl", w2, cols, optimize=True)
+        phi = np.einsum("ck,nckl->ncl", w2.astype(idtype, copy=False), cols, optimize=True)
+        if phi.dtype != np.int64:
+            phi = phi.astype(np.int64)
     return phi.reshape(n, c, oh, ow)
 
 
@@ -372,14 +499,22 @@ def int_depthwise_conv2d_fused(
             w_shift = shift_weights(w_codes, z_w, c)
         except ValueError:
             raise ValueError("per-channel z_w must have one entry per channel") from None
-    dtype = blas_gemm_dtype(kh * kw, x_bits, w_bits) if backend == "blas" else np.int64
+    if backend == "blas":
+        dtype = blas_gemm_dtype(kh * kw, x_bits, w_bits)
+    elif backend == "int32":
+        dtype = np.int32
+    else:
+        dtype = np.int64
     w_cols = w_shift.reshape(c, kh * kw).astype(dtype, copy=False)
     if padding > 0:
         x_shift = np.zeros(
             (n, c, h + 2 * padding, w + 2 * padding), dtype=dtype
         )
+        # dtype= pins the subtract loop so narrow (uint8) code containers
+        # widen instead of wrapping below z_x.
         np.subtract(
-            x_codes, int(z_x), out=x_shift[:, :, padding:-padding, padding:-padding]
+            x_codes, int(z_x), out=x_shift[:, :, padding:-padding, padding:-padding],
+            dtype=dtype,
         )
     else:
         x_shift = np.subtract(x_codes, int(z_x), dtype=dtype)
@@ -417,8 +552,10 @@ def int_linear(
         dtype = blas_gemm_dtype(w_codes.shape[1], x_bits, w_bits)
         x_shift = np.subtract(x_codes, int(z_x), dtype=dtype)
         return (x_shift @ w_shift.T.astype(dtype, copy=False)).astype(np.int64)
-    x_shift = np.subtract(x_codes, int(z_x), dtype=np.int64)
-    return x_shift @ w_shift.T
+    idtype = np.int32 if backend == "int32" else np.int64
+    x_shift = np.subtract(x_codes, int(z_x), dtype=idtype)
+    phi = x_shift @ w_shift.T.astype(idtype, copy=False)
+    return phi if phi.dtype == np.int64 else phi.astype(np.int64)
 
 
 def int_avg_pool_global(x_codes: np.ndarray) -> np.ndarray:

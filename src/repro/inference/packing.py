@@ -1,10 +1,21 @@
-"""Sub-byte bit packing of UINT2 / UINT4 / UINT8 tensors.
+"""Sub-byte bit packing of UINT2 / UINT4 / UINT8 tensors and the
+narrow *container* dtypes codes live in while at rest on the host.
 
 The MCU stores weight (and activation) tensors bit-packed: four 2-bit or
 two 4-bit values per byte, little-end first within each byte, matching the
 layout the extended CMSIS-NN kernels of the paper unpack in their inner
 loop.  The functions here are used both by the deployment-size accounting
 and by tests that round-trip tensors through the packed representation.
+
+On the host, codes are held in the smallest numpy integer dtype that can
+represent them — the tensor's *container dtype* — rather than int64:
+
+* unpacked UINT-Q codes (Q <= 8) live in ``uint8`` (:func:`container_dtype`);
+* zero-point-shifted operands ``x - Z`` span ``[-(2^Q - 1), 2^Q - 1]`` and
+  live in ``int8``/``int16`` (:func:`shifted_container_dtype`).
+
+Sub-byte tensors stay bit-packed at rest and are unpacked once (at compile
+or load time) into their container, never into int64.
 """
 
 from __future__ import annotations
@@ -14,6 +25,41 @@ import math
 import numpy as np
 
 SUPPORTED_BITS = (2, 4, 8)
+
+
+def container_dtype(bits: int, signed: bool = False) -> np.dtype:
+    """Smallest integer dtype that holds ``bits``-bit codes.
+
+    Unsigned codes span ``[0, 2^Q - 1]``; signed codes (INT-Q) span
+    ``[-2^(Q-1), 2^(Q-1) - 1]``.  This is the dtype quantized tensors are
+    *stored* in on the host — the physical width the activation arena and
+    the deployment blobs account for.
+    """
+    if bits < 1 or bits > 64:
+        raise ValueError(f"unsupported bit width {bits}")
+    if signed:
+        for dt in (np.int8, np.int16, np.int32, np.int64):
+            if bits <= np.iinfo(dt).bits:
+                return np.dtype(dt)
+    for dt in (np.uint8, np.uint16, np.uint32):
+        if bits <= np.iinfo(dt).bits:
+            return np.dtype(dt)
+    return np.dtype(np.int64)
+
+
+def shifted_container_dtype(bits: int) -> np.dtype:
+    """Smallest signed dtype holding zero-point-shifted ``bits``-bit codes.
+
+    A shifted operand ``x - Z`` with codes and zero point both in
+    ``[0, 2^Q - 1]`` spans ``[-(2^Q - 1), 2^Q - 1]``, which needs one bit
+    more than the code itself: int8 through Q=7, int16 through Q=15, ...
+    """
+    if bits < 1 or bits > 63:
+        raise ValueError(f"unsupported bit width {bits}")
+    for dt in (np.int8, np.int16, np.int32):
+        if bits < np.iinfo(dt).bits:
+            return np.dtype(dt)
+    return np.dtype(np.int64)
 
 
 def packed_size_bytes(count: int, bits: int) -> int:
@@ -49,19 +95,27 @@ def pack_subbyte(values: np.ndarray, bits: int) -> np.ndarray:
     return packed.astype(np.uint8)
 
 
-def unpack_subbyte(packed: np.ndarray, bits: int, count: int) -> np.ndarray:
-    """Inverse of :func:`pack_subbyte`; returns ``count`` values as int64."""
+def unpack_subbyte(packed: np.ndarray, bits: int, count: int,
+                   dtype=None) -> np.ndarray:
+    """Inverse of :func:`pack_subbyte`.
+
+    Returns ``count`` values in ``dtype``; by default the narrow
+    :func:`container_dtype` of ``bits`` (uint8 for every paper width) —
+    unpacking never inflates codes back to int64 unless asked to.
+    """
     if bits not in SUPPORTED_BITS:
         raise ValueError(f"bits must be one of {SUPPORTED_BITS}, got {bits}")
+    if dtype is None:
+        dtype = container_dtype(bits)
     packed = np.asarray(packed, dtype=np.uint8).reshape(-1)
     if bits == 8:
         if count > packed.size:
             raise ValueError("not enough packed bytes")
-        return packed[:count].astype(np.int64)
+        return packed[:count].astype(dtype)
     per_byte = 8 // bits
     if count > packed.size * per_byte:
         raise ValueError("not enough packed bytes")
     shifts = (np.arange(per_byte) * bits).astype(np.uint8)
     mask = np.uint16(2 ** bits - 1)
     expanded = (packed[:, None].astype(np.uint16) >> shifts) & mask
-    return expanded.reshape(-1)[:count].astype(np.int64)
+    return expanded.reshape(-1)[:count].astype(dtype)

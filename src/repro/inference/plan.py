@@ -6,24 +6,36 @@ per-inference path:
 
 * weight tensors are zero-point-shifted and reshaped to GEMM form once
   (the interpreted engine re-shifts and re-reshapes them on every call);
-* each layer's GEMM backend is fixed up front: float64 BLAS whenever the
-  exactness bound ``k * (2^Qx - 1) * (2^Qw - 1) < 2^53`` holds (always
-  true for the UINT2/4/8 networks of the paper), int64 einsum otherwise,
-  with the einsum contraction path resolved once and cached;
+* each layer's GEMM backend is fixed up front using the *weight-data
+  refined* accumulator bound ``max_o sum_k |W_ok - Z_w| * max|X - Z_x|``
+  (:func:`repro.inference.kernels.refined_max_abs_accumulator`): float32
+  BLAS when that bound fits the 24-bit significand (2x the throughput of
+  float64 — most wide pointwise layers clear it even though the a-priori
+  corner-case bound does not), float64 BLAS below ``2^53``, and the
+  K-tiled int64 einsum as the unbounded reference fallback; forcing
+  ``backend="int32"`` runs the narrow MCU-style integer path (int32
+  accumulators) wherever the ``2^31`` bound allows;
 * depthwise layers take a fused stencil path that never materialises the
   im2col column tensor (per-tap strided multiply-adds, same exactness
-  dispatch — see :func:`repro.inference.kernels.depthwise_stencil_accumulate`);
+  dispatch, stride-1 and stride-2 — see
+  :func:`repro.inference.kernels.depthwise_stencil_accumulate`);
 * requantization constants (``m0``/``n0``/``bq``, threshold tables) are
   pre-reshaped for the flat ``(N, C, L)`` accumulator layout and the
   fixed-point shift is split into its divisor / left-shift parts;
 * range validation runs once at the network boundary (``validate=True``
   by default there) instead of per layer inside the hot loop;
+* activation codes live at their *container width* end to end
+  (``narrow=True``, the default): uint8 slabs for every <=8-bit
+  activation, requantized accumulators streamed through a small
+  cache-blocked int64 scratch straight into the narrow code slab — the
+  arena's physical code bytes match the paper's Eq. 7 accounting for
+  8-bit networks instead of inflating 8x through int64.  ``narrow=False``
+  restores the legacy int64-code pipeline for A/B comparisons;
 * activation and scratch buffers come from a static
-  :class:`~repro.inference.arena.ActivationArena` — a ping-pong int64
-  code pair plus pad/cols/acc slabs sized at plan time — so steady-state
-  inference performs no per-layer allocations and peak host activation
-  memory equals the compile-time plan, mirroring the paper's Eq. 7 RW
-  model (``use_arena=False`` restores per-call allocation for A/B tests).
+  :class:`~repro.inference.arena.ActivationArena` sized at plan time, so
+  steady-state inference performs no per-layer allocations and peak host
+  activation memory equals the compile-time plan (``use_arena=False``
+  restores per-call allocation for A/B tests).
 
 The plan executes bit-identically to ``IntegerNetwork.forward`` — the
 tests assert equality against the int64 einsum reference — and
@@ -49,19 +61,106 @@ from repro.inference.arena import (
     ActivationArena,
     LayerGeometry,
     plan_activations,
+    requant_scratch_bytes,
 )
 from repro.inference.kernels import (
-    blas_gemm_dtype,
+    FLOAT32_EXACT_BITS,
+    INT32_EXACT_BITS,
     check_codes,
     depthwise_prefers_stencil,
     depthwise_stencil_accumulate,
+    exact_gemm_dtype_for_bound,
     gemm_reduction_length,
     int_avg_pool_global,
+    int_einsum_gemm,
+    max_abs_accumulator,
     quantize_input_codes,
-    resolve_gemm_backend,
+    refined_max_abs_accumulator,
     shift_weights,
 )
+from repro.inference.packing import container_dtype
 from repro.nn.functional import conv_output_size, im2col
+
+_INT64 = np.dtype(np.int64)
+
+#: Most K-chunks a split-K sgemm layer may use.  Each chunk is one sgemm
+#: call plus one accumulate pass; past a few chunks the float64 GEMM is
+#: the better deal again.
+_SPLIT_K_MAX_CHUNKS = 4
+
+
+def _split_k_chunks(w_shift: np.ndarray, z_x: int, x_bits: int):
+    """Greedy K-partition whose per-chunk refined bounds fit float32.
+
+    A float64-tier GEMM whose refined bound only just exceeds ``2^24``
+    can run as a few float32 GEMMs over reduction chunks: every partial
+    sum inside one chunk is bounded by that chunk's refined bound (sound
+    per output channel, any summation order), so each sgemm is exact,
+    and the chunk results — exact integers — are summed exactly in
+    float64.  Returns the chunk boundaries, or None when a single chunk
+    suffices (plain sgemm) or more than ``_SPLIT_K_MAX_CHUNKS`` would be
+    needed (float64 stays the better deal).
+    """
+    x_mag = max(int(z_x), 2 ** x_bits - 1 - int(z_x))
+    contrib = np.abs(w_shift.reshape(w_shift.shape[0], -1)).astype(np.int64) * x_mag
+    k = contrib.shape[1]
+    limit = 1 << FLOAT32_EXACT_BITS
+    chunks = []
+    start = 0
+    run = np.zeros(contrib.shape[0], dtype=np.int64)
+    for j in range(k):
+        run += contrib[:, j]
+        if int(run.max()) >= limit and j > start:
+            chunks.append((start, j))
+            start = j
+            run = contrib[:, j].copy()
+        if len(chunks) >= _SPLIT_K_MAX_CHUNKS:
+            return None
+    chunks.append((start, k))
+    if len(chunks) < 2:
+        return None
+    # Soundness guard (a single column can never exceed the limit for
+    # the paper's bit widths, but refuse rather than split unsoundly).
+    for k0, k1 in chunks:
+        if int(contrib[:, k0:k1].sum(axis=1).max()) >= limit:
+            return None
+    return chunks
+
+
+def _resolve_compiled_backend(backend: str, bound: int, k: int,
+                              x_bits: int, w_bits: int) -> Tuple[str, np.dtype]:
+    """Backend + accumulator dtype for one compiled layer.
+
+    ``bound`` is the refined (weight-data) worst-case ``|Phi|``; it is
+    never larger than the a-priori ``k * (2^Qx-1) * (2^Qw-1)`` corner
+    case, so layers whose corner case overflows float32 often still get
+    the exact sgemm tier here.
+    """
+    float_dtype = exact_gemm_dtype_for_bound(bound)
+    if backend == "auto":
+        if float_dtype is not None:
+            return "blas", np.dtype(float_dtype)
+        return "int64", _INT64
+    if backend == "blas":
+        if float_dtype is None:
+            raise ValueError(
+                f"float GEMM is not exact: refined worst-case |Phi| = {bound} "
+                f">= 2^53 (k={k}, Qx={x_bits}, Qw={w_bits})"
+            )
+        return "blas", np.dtype(float_dtype)
+    if backend == "int32":
+        if bound >= (1 << INT32_EXACT_BITS):
+            raise ValueError(
+                f"int32 accumulation overflows: refined worst-case |Phi| = "
+                f"{bound} >= 2^{INT32_EXACT_BITS} (k={k}, Qx={x_bits}, Qw={w_bits})"
+            )
+        return "int32", np.dtype(np.int32)
+    if backend == "int64":
+        return "int64", _INT64
+    raise ValueError(
+        f"unknown GEMM backend {backend!r}; expected one of "
+        "('auto', 'blas', 'int32', 'int64')"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -74,12 +173,23 @@ class _CompiledFixedPointRequant:
     (per-channel ``bq``, scalar multiplier) — they share the identical
     fixed-point hot loop.  The divide of ``icn._fixed_point_scale`` is a
     floor division by ``2^pos``, which over int64 equals an arithmetic
-    right shift — several times faster than ``floor_divide`` — and every
-    step runs in place on the caller-owned accumulator, so requantization
-    adds no allocations to the hot loop.  Bit-identical to
-    :func:`repro.core.icn.icn_requantize` / ``folded_requantize`` by
-    construction (and by test).
+    right shift — several times faster than ``floor_divide``.
+
+    Two entry points, bit-identical by construction (and by test):
+
+    ``__call__(phi)``
+        The legacy wide path: every step runs in place on the
+        caller-owned int64 accumulator.
+    ``store(phi, out, scratch)``
+        The narrow path: the accumulator (float32/float64/int32/int64)
+        is tiled through the small int64 ``scratch`` in cache-resident
+        chunks — Eq. 5's Q31 multiply needs 64-bit intermediates — and
+        each requantized chunk is stored straight into the
+        container-width ``out`` codes, so the full-size int64 round trip
+        of the wide path never touches memory.
     """
+
+    kind = "fixed"
 
     def __init__(self, bq: np.ndarray, m0, n0, z_y: int, out_bits: int):
         self.bq = bq
@@ -92,8 +202,7 @@ class _CompiledFixedPointRequant:
         self.z_y = int(z_y)
         self.qmax = 2 ** out_bits - 1
 
-    def __call__(self, phi: np.ndarray) -> np.ndarray:
-        # ``phi`` is owned by the caller's layer and safe to mutate.
+    def _steps(self, phi: np.ndarray) -> np.ndarray:
         phi += self.bq
         phi *= self.m0
         np.right_shift(phi, self.rshift, out=phi)
@@ -101,6 +210,22 @@ class _CompiledFixedPointRequant:
         phi += self.z_y
         np.clip(phi, 0, self.qmax, out=phi)
         return phi
+
+    def __call__(self, phi: np.ndarray) -> np.ndarray:
+        # ``phi`` is owned by the caller's layer and safe to mutate.
+        return self._steps(phi)
+
+    def store(self, phi: np.ndarray, out: np.ndarray, scratch: np.ndarray) -> np.ndarray:
+        n, c, l = phi.shape
+        lc = max(1, min(l, scratch.size // max(c, 1)))
+        for b in range(n):
+            for l0 in range(0, l, lc):
+                l1 = min(l0 + lc, l)
+                s = scratch[: c * (l1 - l0)].reshape(1, c, l1 - l0)
+                np.copyto(s, phi[b:b + 1, :, l0:l1], casting="unsafe")
+                self._steps(s)
+                np.copyto(out[b:b + 1, :, l0:l1], s, casting="unsafe")
+        return out
 
 
 def _compile_icn_requant(params: ICNParams) -> _CompiledFixedPointRequant:
@@ -127,11 +252,13 @@ def _compile_folded_requant(params: FoldedBNParams) -> _CompiledFixedPointRequan
 class _CompiledThresholdRequant:
     """Per-channel threshold tables pre-sliced/pre-reversed for searchsorted.
 
-    Requantizes in place: each channel of ``phi`` is fully consumed by
-    ``searchsorted`` before the clipped result is written back over it,
-    so the threshold path needs no output allocation either (the arena's
-    code slab doubles as the output buffer, like the fixed-point path).
+    ``__call__`` requantizes an int64 accumulator in place (legacy wide
+    path); ``store`` consumes the accumulator one image at a time through
+    the int64 scratch — ``searchsorted`` compares in the integer domain —
+    and writes the clipped levels into the container-width code slab.
     """
+
+    kind = "thr"
 
     def __init__(self, params: ThresholdParams):
         self.levels = 2 ** params.out_bits
@@ -143,15 +270,30 @@ class _CompiledThresholdRequant:
             else:
                 self.tables.append((np.ascontiguousarray(th[::-1]), -1))
 
+    def _levels_for(self, vals: np.ndarray, table: np.ndarray, direction: int) -> np.ndarray:
+        if direction > 0:
+            y = np.searchsorted(table, vals, side="right")
+        else:
+            y = self.levels - 1 - np.searchsorted(table, vals, side="left")
+        return y
+
     def __call__(self, phi: np.ndarray) -> np.ndarray:
         for c, (table, direction) in enumerate(self.tables):
             vals = phi[:, c, :]
-            if direction > 0:
-                y = np.searchsorted(table, vals, side="right")
-            else:
-                y = self.levels - 1 - np.searchsorted(table, vals, side="left")
+            y = self._levels_for(vals, table, direction)
             np.clip(y, 0, self.levels - 1, out=vals)
         return phi
+
+    def store(self, phi: np.ndarray, out: np.ndarray, scratch: np.ndarray) -> np.ndarray:
+        n, c, l = phi.shape
+        for b in range(n):
+            s = scratch[: c * l].reshape(c, l)
+            np.copyto(s, phi[b], casting="unsafe")
+            for ch, (table, direction) in enumerate(self.tables):
+                y = self._levels_for(s[ch], table, direction)
+                np.clip(y, 0, self.levels - 1, out=y)
+                np.copyto(out[b, ch], y, casting="unsafe")
+        return out
 
 
 def _compile_requant(params):
@@ -180,6 +322,11 @@ class CompiledConvLayer:
     and ``"auto"`` (default) picks per call — stencil exactly when the
     batch's im2col column tensor would blow the cache threshold and turn
     the layer memory-bound (:func:`~repro.inference.kernels.depthwise_prefers_stencil`).
+
+    ``narrow`` stores the output codes at container width (uint8 for
+    <=8-bit activations) and requantizes through the chunked scratch;
+    ``narrow=False`` keeps the legacy int64 code pipeline.
+
     Called with an :class:`~repro.inference.arena.ActivationArena`, the
     layer computes entirely inside preallocated slab views and returns a
     view into the arena's code slot ``slot``; called without, it keeps
@@ -187,7 +334,8 @@ class CompiledConvLayer:
     """
 
     def __init__(self, layer, backend: str = "auto", validate: bool = True,
-                 fused_depthwise="auto"):
+                 fused_depthwise="auto", narrow: bool = True,
+                 refined_bound: bool = True):
         p = layer.params
         self.name = layer.name
         self.kind = layer.kind
@@ -196,6 +344,7 @@ class CompiledConvLayer:
         self.in_bits = int(layer.in_bits)
         self.out_bits = int(layer.out_bits)
         self.w_bits = int(p.w_bits)
+        self.narrow = bool(narrow)
         w = p.weights_q
         if validate:
             check_codes(f"{self.name} weight", w, self.w_bits)
@@ -203,8 +352,42 @@ class CompiledConvLayer:
         self.out_channels = int(w.shape[0])
         self.in_channels = self.out_channels if self.kind == "dw" else int(w.shape[1])
         self.k_reduction = gemm_reduction_length(self.kind, w.shape)
-        self.backend = resolve_gemm_backend(
-            backend, self.k_reduction, self.in_bits, self.w_bits
+        self.z_x = int(p.z_x)
+        w_shift = shift_weights(w, p.z_w, self.out_channels)
+        # Refined accumulator bound: the actual shifted weights are in
+        # hand, so dispatch on max_o sum_k |W'| * max|X - Zx| instead of
+        # the a-priori corner case (exact for codes within range, which
+        # compile()/boundary validation guarantees).  ``refined_bound=False``
+        # (or disabling validation, which voids the range guarantee the
+        # refinement relies on) restores the a-priori corner-case tiering.
+        self.acc_bound = max_abs_accumulator(self.k_reduction, self.in_bits, self.w_bits)
+        if refined_bound and validate:
+            self.acc_bound = min(
+                self.acc_bound,
+                refined_max_abs_accumulator(w_shift, self.z_x, self.in_bits),
+            )
+        self.backend, gemm_dtype = _resolve_compiled_backend(
+            backend, self.acc_bound, self.k_reduction, self.in_bits, self.w_bits
+        )
+        self.gemm_dtype = gemm_dtype
+        self.acc_dtype = gemm_dtype
+        # Split-K sgemm: a float64-tier pointwise layer whose reduction
+        # can be partitioned into a few chunks each individually under
+        # the float32 bound runs as chunked sgemms (2x dgemm throughput)
+        # summed exactly in float64.
+        self.split_k = None
+        if (
+            self.backend == "blas" and gemm_dtype == np.float64
+            and refined_bound and validate
+            and self.kind == "pw" and self.kh == 1 and self.kw == 1
+            and self.stride == 1 and self.padding == 0
+        ):
+            self.split_k = _split_k_chunks(w_shift, self.z_x, self.in_bits)
+            if self.split_k is not None:
+                self.gemm_dtype = np.dtype(np.float32)
+                self.acc_dtype = np.dtype(np.float64)
+        self.out_dtype = (
+            container_dtype(self.out_bits) if self.narrow else _INT64
         )
         if fused_depthwise is True:
             mode = "always"
@@ -221,45 +404,45 @@ class CompiledConvLayer:
         # the cols slab to the tap temporary); "auto" keeps the
         # conservative im2col-sized plan since either path may run.
         self.fused = self.dw_mode == "always"
-        self.z_x = int(p.z_x)
         w2 = np.ascontiguousarray(
-            shift_weights(w, p.z_w, self.out_channels).reshape(self.out_channels, -1)
+            w_shift.reshape(self.out_channels, -1).astype(self.gemm_dtype)
         )
-        if self.backend == "blas":
-            self.gemm_dtype = blas_gemm_dtype(self.k_reduction, self.in_bits, self.w_bits)
-            self.w2 = w2.astype(self.gemm_dtype)
-        else:
-            self.gemm_dtype = np.int64
-            self.w2 = w2
-        self.gemm_itemsize = np.dtype(self.gemm_dtype).itemsize
+        self.w2 = w2
+        self.w2_chunks = (
+            None if self.split_k is None
+            else [np.ascontiguousarray(w2[:, k0:k1]) for k0, k1 in self.split_k]
+        )
+        self.gemm_itemsize = self.gemm_dtype.itemsize
         if self.kind == "dw":
             self.w_cols = self.w2  # (C, kh*kw) stencil form
             if self.backend == "blas" and self.dw_mode != "always":
                 # (C, 1, kh*kw) batched-matmul form for the im2col path
-                # (the int64 einsum contraction keeps the flat form).
+                # (the integer einsum contraction keeps the flat form).
                 self.w2 = np.ascontiguousarray(self.w2[:, None, :])
-        self._einsum_path = None
         self.requant = _compile_requant(p)
+        self.requant_kind = self.requant.kind
 
-    def _accumulate_int64(self, cols: np.ndarray, out=None) -> np.ndarray:
-        expr = "ck,nckl->ncl" if self.kind == "dw" else "ok,nkl->nol"
-        if self._einsum_path is None:
-            self._einsum_path = np.einsum_path(expr, self.w2, cols, optimize="optimal")[0]
-        return np.einsum(expr, self.w2, cols, optimize=self._einsum_path, out=out)
+    def _accumulate_int(self, cols: np.ndarray, out=None) -> np.ndarray:
+        """Integer einsum contraction (int64 reference / forced int32)."""
+        if self.kind == "dw":
+            return np.einsum("ck,nckl->ncl", self.w2, cols, optimize=True, out=out)
+        return int_einsum_gemm(self.w2, cols, out=out)
 
     def _shift_pad(self, x_codes: np.ndarray, dtype, arena) -> np.ndarray:
         """Zero-point shift and zero-pad in a single (or zero) allocation.
 
         Writing ``x - Z_x`` straight into the interior of the padded
         buffer fuses what the interpreted path does in two full-tensor
-        passes (``subtract`` then ``np.pad``).
+        passes (``subtract`` then ``np.pad``).  The subtraction loop is
+        pinned to the GEMM dtype so narrow (uint8) input containers are
+        widened on the fly, never wrapped.
         """
         p = self.padding
         n, c, h, w = x_codes.shape
         if p == 0:
             if arena is not None:
                 out = arena.pad(dtype, (n, c, h, w))
-                return np.subtract(x_codes, self.z_x, out=out)
+                return np.subtract(x_codes, self.z_x, out=out, dtype=dtype)
             return np.subtract(x_codes, self.z_x, dtype=dtype)
         shape = (n, c, h + 2 * p, w + 2 * p)
         if arena is not None:
@@ -267,7 +450,7 @@ class CompiledConvLayer:
             out.fill(0)
         else:
             out = np.zeros(shape, dtype=dtype)
-        np.subtract(x_codes, self.z_x, out=out[:, :, p:-p, p:-p])
+        np.subtract(x_codes, self.z_x, out=out[:, :, p:-p, p:-p], dtype=dtype)
         return out
 
     def _unfold(self, x_shift: np.ndarray, arena, n: int, l_out: int) -> np.ndarray:
@@ -279,6 +462,16 @@ class CompiledConvLayer:
             return im2col(x_shift, self.kh, self.kw, self.stride, 0,
                           out=arena.cols(x_shift.dtype, shape))
         return im2col(x_shift, self.kh, self.kw, self.stride, 0, contiguous=False)
+
+    def _requant_scratch(self, n: int, l_out: int, arena) -> np.ndarray:
+        if arena is not None:
+            return arena.requant_scratch()
+        # Same sizing rule as the arena planner (single source of truth).
+        nbytes = requant_scratch_bytes(
+            self.kind, self.requant_kind, self.out_channels,
+            self.out_channels * l_out, np.dtype(self.out_dtype).itemsize,
+        )
+        return np.empty(max(1, nbytes // 8), dtype=np.int64)
 
     def __call__(self, x_codes: np.ndarray, arena: Optional[ActivationArena] = None,
                  slot: int = 0) -> np.ndarray:
@@ -293,14 +486,21 @@ class CompiledConvLayer:
                 n, c, self.kh, self.kw, oh, ow, self.gemm_itemsize,
                 stride=self.stride))
         )
+        # Narrow layers always accumulate into the acc slab (the codes
+        # slab is too narrow for the accumulator); wide int64 layers keep
+        # the legacy shortcut of contracting straight into the int64
+        # codes slab.
+        acc_in_codes = (not self.narrow) and self.gemm_dtype == _INT64
         x_shift = self._shift_pad(x_codes, self.gemm_dtype, arena)
         if fused:
             # Per-tap strided stencil; the cols slab serves as the tap
             # temporary (it is never used for columns on this path).
-            if self.backend == "blas":
-                acc = arena.acc(self.gemm_dtype, (n, c, oh, ow)) if arena is not None else None
+            if arena is None:
+                acc = None
+            elif acc_in_codes:
+                acc = arena.codes(slot, (n, c, oh, ow))
             else:
-                acc = arena.codes(slot, (n, c, oh, ow)) if arena is not None else None
+                acc = arena.acc(self.gemm_dtype, (n, c, oh, ow))
             tmp = (arena.cols(self.gemm_dtype, (n, c, oh, ow))
                    if arena is not None and self.k_reduction > 1 else None)
             phi = depthwise_stencil_accumulate(
@@ -308,7 +508,23 @@ class CompiledConvLayer:
             ).reshape(n, c, l_out)
         elif self.backend == "blas":
             cols = self._unfold(x_shift, arena, n, l_out)
-            if self.kind == "dw":
+            if self.split_k is not None:
+                # Chunked sgemm over the K-partition, each chunk exact in
+                # float32, summed exactly in the float64 accumulator.
+                if arena is not None:
+                    acc = arena.acc(np.float64, out_shape)
+                    tmp = arena.cols(self.gemm_dtype, out_shape)
+                else:
+                    acc = np.empty(out_shape, dtype=np.float64)
+                    tmp = np.empty(out_shape, dtype=self.gemm_dtype)
+                (k0, k1), *rest = self.split_k
+                np.matmul(self.w2_chunks[0], cols[:, k0:k1, :], out=tmp)
+                np.copyto(acc, tmp)
+                for (k0, k1), w2c in zip(rest, self.w2_chunks[1:]):
+                    np.matmul(w2c, cols[:, k0:k1, :], out=tmp)
+                    acc += tmp
+                phi = acc
+            elif self.kind == "dw":
                 cols = cols.reshape(n, c, self.k_reduction, l_out)
                 acc = arena.acc(self.gemm_dtype, (n, c, 1, l_out)) if arena is not None else None
                 phi = np.matmul(self.w2, cols, out=acc).reshape(n, c, l_out)
@@ -319,29 +535,45 @@ class CompiledConvLayer:
             cols = self._unfold(x_shift, arena, n, l_out)
             if self.kind == "dw":
                 cols = cols.reshape(n, c, self.k_reduction, l_out)
-            # The int64 contraction writes straight into the output code
-            # slab — no float accumulator, no extra copy.
-            acc = arena.codes(slot, out_shape) if arena is not None else None
-            phi = self._accumulate_int64(cols, out=acc)
-        # Integer accumulator -> int64 codes buffer (exact: every float
-        # value is an integer below the significand bound by construction).
+            if arena is None:
+                acc = None
+            elif acc_in_codes:
+                # Wide: the int64 contraction writes straight into the
+                # output code slab — no separate accumulator, no copy.
+                acc = arena.codes(slot, out_shape)
+            else:
+                acc = arena.acc(self.gemm_dtype, out_shape)
+            phi = self._accumulate_int(cols, out=acc)
+        phi = phi.reshape(out_shape)
+        if self.narrow:
+            # Chunked requantization: accumulator -> int64 scratch tiles
+            # -> container-width codes.  Exact: every accumulator value
+            # is an integer below the refined bound by construction.
+            if arena is not None:
+                out = arena.codes(slot, out_shape, self.out_dtype)
+            else:
+                out = np.empty(out_shape, dtype=self.out_dtype)
+            self.requant.store(phi, out, self._requant_scratch(n, l_out, arena))
+            return out.reshape(n, self.out_channels, oh, ow)
+        # Legacy wide path: int64 codes, requantized in place.
         if phi.dtype == np.int64:
             phi64 = phi
         elif arena is not None:
             phi64 = arena.codes(slot, out_shape)
-            np.copyto(phi64, phi.reshape(out_shape), casting="unsafe")
+            np.copyto(phi64, phi, casting="unsafe")
         else:
-            phi64 = phi.reshape(out_shape).astype(np.int64)
-        return self.requant(phi64.reshape(out_shape)).reshape(
-            n, self.out_channels, oh, ow
-        )
+            phi64 = phi.astype(np.int64)
+        return self.requant(phi64).reshape(n, self.out_channels, oh, ow)
 
 
 class CompiledLinear:
     """Compiled integer classifier: shifted/transposed weights and the
-    dequantization scale (``s_in * s_w``) are materialised once."""
+    dequantization scale (``s_in * s_w``) are materialised once.  The
+    accumulator dtype uses the same refined weight-data bound as the
+    conv layers (sgemm on most classifier widths)."""
 
-    def __init__(self, layer, backend: str = "auto", validate: bool = True):
+    def __init__(self, layer, backend: str = "auto", validate: bool = True,
+                 refined_bound: bool = True):
         self.name = layer.name
         self.kind = "fc"
         self.in_bits = int(layer.in_bits)
@@ -350,17 +582,18 @@ class CompiledLinear:
             check_codes(f"{self.name} weight", layer.weights_q, self.w_bits)
         self.k_reduction = gemm_reduction_length("fc", layer.weights_q.shape)
         self.out_channels = int(layer.weights_q.shape[0])
-        self.backend = resolve_gemm_backend(
-            backend, self.k_reduction, self.in_bits, self.w_bits
-        )
         self.z_x = int(layer.z_x)
-        w_t = shift_weights(layer.weights_q, layer.z_w, self.out_channels).T
-        if self.backend == "blas":
-            self.gemm_dtype = blas_gemm_dtype(self.k_reduction, self.in_bits, self.w_bits)
-            self.w_t = np.ascontiguousarray(w_t.astype(self.gemm_dtype))
-        else:
-            self.gemm_dtype = np.int64
-            self.w_t = np.ascontiguousarray(w_t)
+        w_shift = shift_weights(layer.weights_q, layer.z_w, self.out_channels)
+        self.acc_bound = max_abs_accumulator(self.k_reduction, self.in_bits, self.w_bits)
+        if refined_bound and validate:
+            self.acc_bound = min(
+                self.acc_bound,
+                refined_max_abs_accumulator(w_shift, self.z_x, self.in_bits),
+            )
+        self.backend, self.gemm_dtype = _resolve_compiled_backend(
+            backend, self.acc_bound, self.k_reduction, self.in_bits, self.w_bits
+        )
+        self.w_t = np.ascontiguousarray(w_shift.T.astype(self.gemm_dtype))
         s_w = np.asarray(layer.s_w, dtype=np.float64).reshape(-1)
         # Match IntegerLinearLayer.forward exactly: s_in * s_w is evaluated
         # first there too (left-to-right), so hoisting it preserves ulps.
@@ -371,11 +604,8 @@ class CompiledLinear:
         self.bias = None if layer.bias is None else np.asarray(layer.bias, dtype=np.float64)
 
     def __call__(self, x_codes: np.ndarray) -> np.ndarray:
-        if self.backend == "blas":
-            phi = np.subtract(x_codes, self.z_x, dtype=self.gemm_dtype) @ self.w_t
-            phi = phi.astype(np.float64)
-        else:
-            phi = (np.subtract(x_codes, self.z_x, dtype=np.int64) @ self.w_t).astype(np.float64)
+        phi = np.subtract(x_codes, self.z_x, dtype=self.gemm_dtype) @ self.w_t
+        phi = phi.astype(np.float64)
         logits = self.scale * phi
         if self.bias is not None:
             logits = logits + self.bias
@@ -399,6 +629,10 @@ class LayerPlanInfo:
     w_bits: int
     #: Depthwise dispatch mode ("always"/"never"/"auto"); "" for non-dw.
     dw_mode: str = ""
+    #: Container dtype the output codes are stored at ("-" for fc logits).
+    container: str = "-"
+    #: Refined worst-case |Phi| the accumulator dtype was picked for.
+    acc_bound: int = 0
 
 
 class ExecutionPlan:
@@ -413,28 +647,33 @@ class ExecutionPlan:
     input geometry, or eagerly when ``input_hw`` is given).
     ``fused_depthwise`` selects the stencil depthwise kernel: ``"auto"``
     (default) per-call by the cache-threshold rule, ``True`` always,
-    ``False`` never.  ``use_arena=False`` plus ``fused_depthwise=False``
-    restores the PR-1 per-call-allocation im2col behaviour for A/B
-    comparisons and tests.
+    ``False`` never.  ``narrow`` (default) keeps activation codes at
+    container width end to end; ``narrow=False`` plus ``use_arena=False``
+    plus ``fused_depthwise=False`` restores the PR-1 int64 im2col
+    behaviour for A/B comparisons and tests.
     """
 
     def __init__(self, network, backend: str = "auto", validate: bool = True,
                  use_arena: bool = True, fused_depthwise="auto",
+                 narrow: bool = True, refined_bound: bool = True,
                  input_hw: Optional[Tuple[int, int]] = None):
         self.validate = bool(validate)
         self.use_arena = bool(use_arena)
+        self.narrow = bool(narrow)
+        self.layers: List[CompiledConvLayer] = [
+            CompiledConvLayer(l, backend=backend, validate=self.validate,
+                              fused_depthwise=fused_depthwise, narrow=self.narrow,
+                              refined_bound=refined_bound)
+            for l in network.conv_layers
+        ]
         self.input_scale = float(network.input_scale)
         self.input_zero_point = int(network.input_zero_point)
         self.input_bits = int(network.input_bits)
-        self.layers: List[CompiledConvLayer] = [
-            CompiledConvLayer(l, backend=backend, validate=self.validate,
-                              fused_depthwise=fused_depthwise)
-            for l in network.conv_layers
-        ]
         self.has_pool = network.pool is not None
         self.classifier: Optional[CompiledLinear] = (
             None if network.classifier is None
-            else CompiledLinear(network.classifier, backend=backend, validate=self.validate)
+            else CompiledLinear(network.classifier, backend=backend,
+                                validate=self.validate, refined_bound=refined_bound)
         )
         self._arenas: Dict[Tuple[int, int], ActivationArena] = {}
         if input_hw is not None:
@@ -443,9 +682,12 @@ class ExecutionPlan:
     # -- input boundary ------------------------------------------------
     def quantize_input(self, x_real: np.ndarray) -> np.ndarray:
         """Quantize a real NCHW image batch into input codes (same
-        boundary quantizer as the interpreted engine)."""
+        boundary quantizer as the interpreted engine, stored at the
+        input's container width under the narrow plan)."""
+        dtype = container_dtype(self.input_bits) if self.narrow else np.int64
         return quantize_input_codes(
-            x_real, self.input_scale, self.input_zero_point, self.input_bits
+            x_real, self.input_scale, self.input_zero_point, self.input_bits,
+            dtype=dtype,
         )
 
     # -- activation memory planning ------------------------------------
@@ -463,6 +705,8 @@ class ExecutionPlan:
                 out_bits=c.in_bits,
                 gemm_itemsize=np.dtype(c.gemm_dtype).itemsize,
                 fused=False,
+                out_itemsize=container_dtype(c.in_bits).itemsize,
+                requant_kind="",
             ))
         return geoms
 
@@ -472,9 +716,10 @@ class ExecutionPlan:
         Planned once per ``(H, W)`` and cached; its slabs grow to the
         largest batch seen (``planned_bytes(batch)`` is exact for any
         batch).  This is also the introspection entry point: the arena
-        carries the per-layer :class:`LayerActivationPlan` list and the
+        carries the per-layer :class:`LayerActivationPlan` list, the
         Eq. 7 ``logical_rw_peak_bytes`` the deploy path checks against a
-        device's RW budget.
+        device's RW budget, and the container-width
+        ``physical_code_bytes`` that must equal it for 8-bit networks.
         """
         key = (int(input_hw[0]), int(input_hw[1]))
         arena = self._arenas.get(key)
@@ -551,14 +796,15 @@ class ExecutionPlan:
         infos = [
             LayerPlanInfo(l.name, l.kind, l.backend, np.dtype(l.gemm_dtype).name,
                           l.k_reduction, l.out_channels, l.in_bits, l.w_bits,
-                          l.dw_mode)
+                          l.dw_mode, np.dtype(l.out_dtype).name, l.acc_bound)
             for l in self.layers
         ]
         if self.classifier is not None:
             c = self.classifier
             infos.append(
                 LayerPlanInfo(c.name, c.kind, c.backend, np.dtype(c.gemm_dtype).name,
-                              c.k_reduction, c.out_channels, c.in_bits, c.w_bits)
+                              c.k_reduction, c.out_channels, c.in_bits, c.w_bits,
+                              acc_bound=c.acc_bound)
             )
         return infos
 
@@ -568,17 +814,19 @@ class ExecutionPlan:
 
         With ``input_hw`` (or after the plan has already executed on some
         geometry) the summary ends with the activation-arena plan: the
-        host slab bytes for ``batch_size`` images and the paper-model
-        (Eq. 7) logical RW peak for packed codes.
+        host slab bytes for ``batch_size`` images, the physical
+        (container-width) bytes of the ping-pong code pair, and the
+        paper-model (Eq. 7) logical RW peak for packed codes — physical
+        and logical agree exactly for pure 8-bit networks.
         """
-        lines = [f"{'layer':<16} {'kind':<5} {'backend':<7} {'dtype':<8} "
-                 f"{'k':>6} {'c_out':>6}  {'path'}"]
+        lines = [f"{'layer':<16} {'kind':<5} {'backend':<7} {'acc':<8} "
+                 f"{'codes':<6} {'k':>6} {'c_out':>6}  {'path'}"]
         paths = {"always": "fused-stencil", "never": "im2col", "auto": "auto-stencil"}
         for info in self.layer_info():
             path = paths.get(info.dw_mode, "im2col")
             lines.append(
                 f"{info.name:<16} {info.kind:<5} {info.backend:<7} {info.gemm_dtype:<8} "
-                f"{info.k_reduction:>6} {info.out_channels:>6}  {path}"
+                f"{info.container:<6} {info.k_reduction:>6} {info.out_channels:>6}  {path}"
             )
         arena: Optional[ActivationArena] = None
         if input_hw is not None:
@@ -591,7 +839,10 @@ class ExecutionPlan:
                 "",
                 f"activation arena (input {h}x{w}):",
                 f"  planned host peak  : {arena.planned_bytes(batch_size)} bytes"
-                f" (batch {batch_size}, {arena.bytes_per_image()} per image)",
+                f" (batch {batch_size}, {arena.bytes_per_image()} per image"
+                f" + {arena.fixed_bytes} requant scratch)",
+                f"  physical code pair : {arena.physical_code_bytes(1)} bytes"
+                f" (container-width ping-pong, batch 1)",
                 f"  logical RW peak    : {arena.logical_rw_peak_bytes} bytes"
                 f" (paper Eq. 7, packed codes)",
             ]

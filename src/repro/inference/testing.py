@@ -25,6 +25,7 @@ from repro.inference.engine import (
     IntegerLinearLayer,
     IntegerNetwork,
 )
+from repro.inference.packing import container_dtype
 from repro.models.model_zoo import NetworkSpec
 from repro.nn.functional import conv_output_size
 
@@ -63,7 +64,9 @@ def random_conv_layer(
     else:
         w_shape = (c_out, c_in, kernel, kernel)
         k_reduction = c_in * kernel * kernel
-    weights_q = rng.integers(0, 2 ** w_bits, size=w_shape, dtype=np.int64)
+    # Weight codes live in their narrow container (uint8 for <= 8 bits),
+    # like the quantizer emits them — the engines never see int64 weights.
+    weights_q = rng.integers(0, 2 ** w_bits, size=w_shape, dtype=container_dtype(w_bits))
     z_x = int(rng.integers(0, 2 ** in_bits))
     z_y = 2 ** (out_bits - 1)
     m_target = _target_multiplier(k_reduction, in_bits, out_bits, w_bits)
@@ -131,7 +134,8 @@ def random_linear_layer(
     size = out_features if per_channel else 1
     return IntegerLinearLayer(
         name=name,
-        weights_q=rng.integers(0, 2 ** w_bits, size=(out_features, in_features), dtype=np.int64),
+        weights_q=rng.integers(0, 2 ** w_bits, size=(out_features, in_features),
+                               dtype=container_dtype(w_bits)),
         z_w=rng.integers(0, 2 ** w_bits, size=size, dtype=np.int64),
         s_w=rng.uniform(1e-3, 2e-2, size=size),
         z_x=int(rng.integers(0, 2 ** in_bits)),

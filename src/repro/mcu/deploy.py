@@ -46,23 +46,52 @@ def check_fit(spec: NetworkSpec, policy: QuantPolicy, device: MCUDevice) -> bool
     return MemoryModel(spec).fits(policy, device.flash_bytes, device.ram_bytes)
 
 
-def assert_arena_fits(plan, device: MCUDevice, input_hw) -> int:
+def assert_arena_fits(plan, device: MCUDevice, input_hw,
+                      check_physical: bool = True) -> int:
     """Assert a *compiled* plan's activation peak fits the device RAM.
 
     ``plan`` is an :class:`~repro.inference.plan.ExecutionPlan`; the
     check uses the arena's logical (Eq. 7, packed-code) RW peak — the
     runtime counterpart of :func:`check_fit`'s analytical term, derived
     from the actual compiled layer stack instead of a
-    :class:`NetworkSpec`.  Returns the peak in bytes; raises
-    ``ValueError`` when it exceeds the device's RW budget.
+    :class:`NetworkSpec`.
+
+    With ``check_physical`` (default), a pure 8-bit narrow-native plan
+    must additionally allocate its container-width ping-pong code pair
+    within the Eq. 7 peak — the runtime's physical activation bytes are
+    asserted not to exceed the paper's accounting (they agree *exactly*
+    on every model-zoo pyramid, which the tests pin down), so a
+    regression back to inflated (e.g. int64) containers cannot pass the
+    deployment gate.  Sub-byte activations keep the one-byte container
+    (physical >= logical by design) and are not checked.  Disable for
+    exotic topologies where the ping-pong schedule is legitimately
+    looser than the per-layer pair bound.
+
+    Returns the logical peak in bytes; raises ``ValueError`` when it
+    exceeds the device's RW budget or the physical check fails.
     """
-    peak = plan.arena_for(input_hw).logical_rw_peak_bytes
+    arena = plan.arena_for(input_hw)
+    peak = arena.logical_rw_peak_bytes
     if peak > device.ram_bytes:
         raise ValueError(
             f"activation arena peak {peak} B exceeds {device.name} "
             f"RW budget {device.ram_bytes} B for input "
             f"{int(input_hw[0])}x{int(input_hw[1])}"
         )
+    conv = [p for p in arena.plans if p.kind != "fc"]
+    pure_8bit = bool(conv) and all(
+        p.in_bits == 8 and p.out_bits == 8 and p.out_itemsize == 1
+        for p in conv
+    )
+    if check_physical and getattr(plan, "narrow", False) and pure_8bit:
+        physical = arena.physical_code_bytes(1)
+        if physical > peak:
+            raise ValueError(
+                f"physical code slabs ({physical} B at container width) "
+                f"exceed the Eq. 7 RW peak ({peak} B) for a pure 8-bit "
+                f"network — the arena no longer mirrors the paper's "
+                f"memory model"
+            )
     return peak
 
 

@@ -134,15 +134,20 @@ class TestAutoDispatch:
     def test_prefers_stencil_above_cache_threshold(self):
         from repro.inference.kernels import (
             DW_IM2COL_BYTES_THRESHOLD,
+            DW_IM2COL_S2_BYTES_THRESHOLD,
             depthwise_prefers_stencil,
         )
         # 8 x 32ch x 3x3 x 112x112 float32 im2col is ~115 MB: stencil.
         assert depthwise_prefers_stencil(8, 32, 3, 3, 112, 112, 4)
         # 1 x 8ch x 3x3 x 16x16 is ~74 kB: stays on the matmul path.
         assert not depthwise_prefers_stencil(1, 8, 3, 3, 16, 16, 4)
-        # Strided windows are SIMD-hostile: never the stencil.
-        assert not depthwise_prefers_stencil(8, 32, 3, 3, 112, 112, 4, stride=2)
-        assert DW_IM2COL_BYTES_THRESHOLD > 0
+        # Stride 2 dispatches on its own (lower) threshold: a ~115 MB
+        # unfold takes the stencil, a small one keeps the matmul path.
+        assert depthwise_prefers_stencil(8, 32, 3, 3, 112, 112, 4, stride=2)
+        assert not depthwise_prefers_stencil(1, 8, 3, 3, 16, 16, 4, stride=2)
+        # Strides beyond 2 always fall back to im2col.
+        assert not depthwise_prefers_stencil(8, 32, 3, 3, 112, 112, 4, stride=3)
+        assert 0 < DW_IM2COL_S2_BYTES_THRESHOLD < DW_IM2COL_BYTES_THRESHOLD
 
     @pytest.mark.parametrize("mode", [True, False, "auto"])
     def test_all_dispatch_modes_bit_identical(self, mode):

@@ -122,11 +122,16 @@ class TestBoundaryValidation:
 
     def test_out_of_range_weights_rejected_at_compile_time(self, integer_net):
         """The plan enforces the interpreted engine's weight guard once,
-        at compile time, instead of on every forward."""
+        at compile time, instead of on every forward.  An 8-bit uint8
+        container cannot even represent an out-of-range code, so the
+        poisoned tensor is widened to int64 first (a corrupted legacy
+        deployment)."""
         import copy
 
         broken = copy.deepcopy(integer_net)
-        broken.conv_layers[0].params.weights_q[0, 0, 0, 0] = 700
+        params = broken.conv_layers[0].params
+        params.weights_q = params.weights_q.astype(np.int64)
+        params.weights_q[0, 0, 0, 0] = 700
         with pytest.raises(ValueError, match="weight codes out of UINT8 range"):
             broken.compile()
         assert broken.compile(validate=False) is not None
