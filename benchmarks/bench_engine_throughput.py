@@ -37,6 +37,7 @@ from repro.evaluation.tables import render_table
 from repro.inference.kernels import depthwise_prefers_stencil
 from repro.inference.testing import integer_network_from_spec
 from repro.models.model_zoo import mobilenet_v1_spec
+from repro.runtime import CompileOptions, Session, SessionOptions
 
 RESOLUTION = 128
 WIDTH = 0.5
@@ -63,21 +64,22 @@ def _best_of(fn, reps: int = 3) -> float:
 def _pr1_compile(net):
     """The PR-1 engine: per-call im2col allocation, int64 codes,
     a-priori dispatch."""
-    return net.compile(use_arena=False, fused_depthwise=False,
-                       narrow=False, refined_bound=False)
+    return net.compile(CompileOptions(use_arena=False, fused_depthwise=False,
+                                      narrow=False, refined_bound=False))
 
 
 def _pr2_compile(net, input_hw=None):
     """The PR-2 engine: arena + auto stencil, but int64 codes, in-place
     int64 requant and a-priori accumulator tiers."""
-    return net.compile(narrow=False, refined_bound=False, input_hw=input_hw)
+    return net.compile(CompileOptions(narrow=False, refined_bound=False,
+                                      input_hw=input_hw))
 
 
 def test_benchmark_engine_throughput(record_report):
     spec = mobilenet_v1_spec(RESOLUTION, WIDTH, num_classes=NUM_CLASSES)
     net = integer_network_from_spec(spec, np.random.default_rng(0))
     x = np.random.default_rng(1).uniform(0, 1, size=(BATCH, 3, RESOLUTION, RESOLUTION))
-    plan = net.compile(input_hw=(RESOLUTION, RESOLUTION))
+    plan = net.compile(CompileOptions(input_hw=(RESOLUTION, RESOLUTION)))
     plan_pr1 = _pr1_compile(net)
 
     # Bit-exactness of both compiled generations vs. the int64 reference.
@@ -165,7 +167,7 @@ def test_benchmark_depthwise_fused_speedup(record_report):
     spec = mobilenet_v1_spec(res, 1.0, num_classes=NUM_CLASSES)
     net = integer_network_from_spec(spec, np.random.default_rng(0))
     x = np.random.default_rng(1).uniform(0, 1, size=(batch, 3, res, res))
-    plan = net.compile(input_hw=(res, res))
+    plan = net.compile(CompileOptions(input_hw=(res, res)))
     plan_pr1 = _pr1_compile(net)
     assert np.array_equal(plan.run(x), plan_pr1.run(x)), "fused/auto plan diverged"
 
@@ -229,15 +231,16 @@ def test_benchmark_depthwise_fused_speedup(record_report):
 
 
 def test_benchmark_batched_sweep_throughput(record_report):
-    """E9b — streaming a sweep through run_batched sustains the compiled
-    rate inside the compile-time activation-memory plan."""
+    """E9b — streaming a sweep through the Session front door sustains
+    the compiled rate inside the compile-time activation-memory plan."""
     res = 96
     spec = mobilenet_v1_spec(res, 0.25, num_classes=NUM_CLASSES)
     net = integer_network_from_spec(spec, np.random.default_rng(0))
-    plan = net.compile(input_hw=(res, res))
+    session = Session(net, options=SessionOptions(batch_size=8, input_hw=(res, res)))
+    plan = session.plan
     sweep = np.random.default_rng(2).uniform(0, 1, size=(64, 3, res, res))
 
-    t_sweep = _best_of(lambda: plan.run_batched(sweep, batch_size=8), reps=2)
+    t_sweep = _best_of(lambda: session.run_batched(sweep), reps=2)
     rate = sweep.shape[0] / t_sweep
 
     # Two-part bound (the whole point of the ping-pong scheme: batch >>
@@ -248,7 +251,7 @@ def test_benchmark_batched_sweep_throughput(record_report):
     planned = arena.planned_bytes(8)
     assert arena.allocated_bytes == planned, "arena slabs diverged from the plan"
     tracemalloc.start()
-    plan.run_batched(sweep, batch_size=8)
+    session.run_batched(sweep)
     _, measured_peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     assert measured_peak <= planned, (
@@ -268,15 +271,17 @@ _RSS_CHILD = """
 import numpy as np
 from repro.inference.testing import integer_network_from_spec
 from repro.models.model_zoo import mobilenet_v1_spec
+from repro.runtime import CompileOptions
 
 narrow = {narrow}
 spec = mobilenet_v1_spec({res}, {width}, num_classes={classes})
 net = integer_network_from_spec(spec, np.random.default_rng(0))
 x = np.random.default_rng(1).uniform(0, 1, size=({sweep}, 3, {res}, {res}))
 if narrow:
-    plan = net.compile(input_hw=({res}, {res}))
+    plan = net.compile(CompileOptions(input_hw=({res}, {res})))
 else:
-    plan = net.compile(narrow=False, refined_bound=False, input_hw=({res}, {res}))
+    plan = net.compile(CompileOptions(narrow=False, refined_bound=False,
+                                      input_hw=({res}, {res})))
 plan.run_batched(x, batch_size={batch})
 # VmHWM (not ru_maxrss): the rusage high-water mark is inherited across
 # fork+exec on Linux, so a child of a large parent would report the
@@ -324,7 +329,7 @@ def test_benchmark_narrow_vs_wide(record_report):
     x = np.random.default_rng(1).uniform(
         0, 1, size=(NARROW_BATCH, 3, NARROW_RES, NARROW_RES)
     )
-    narrow = net.compile(input_hw=(NARROW_RES, NARROW_RES))
+    narrow = net.compile(CompileOptions(input_hw=(NARROW_RES, NARROW_RES)))
     wide = _pr2_compile(net, input_hw=(NARROW_RES, NARROW_RES))
     assert np.array_equal(narrow.run(x), wide.run(x)), "narrow plan diverged from wide"
 
@@ -396,9 +401,9 @@ def _quick_parity_sweep() -> None:
             "narrow": net.compile(),
             "wide": _pr2_compile(net),
             "pr1": _pr1_compile(net),
-            "int32": net.compile(backend="int32"),
-            "int64": net.compile(backend="int64"),
-            "stencil": net.compile(fused_depthwise=True),
+            "int32": net.compile(CompileOptions(backend="int32")),
+            "int64": net.compile(CompileOptions(backend="int64")),
+            "stencil": net.compile(CompileOptions(fused_depthwise=True)),
         }
         for name, plan in flavours.items():
             got = plan.run(x)
@@ -410,8 +415,18 @@ def _quick_parity_sweep() -> None:
         batched = flavours["narrow"].run_batched(x, batch_size=2)
         if not np.array_equal(ref, batched):
             raise AssertionError(f"{res}_{width} @ {bits}-bit: run_batched diverged")
+        # Session-artifact round trip: save -> load -> serve must stay
+        # bit-identical with no reference to the original network.
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            Session(net).save(tmp + "/artifact")
+            if not np.array_equal(ref, Session.load(tmp + "/artifact").run(x)):
+                raise AssertionError(
+                    f"{res}_{width} @ {bits}-bit: artifact round trip diverged"
+                )
         print(f"  parity ok: {res}_{width} @ {bits}-bit "
-              f"({len(flavours)} engine flavours, bit-exact)")
+              f"({len(flavours)} engine flavours + artifact round trip, bit-exact)")
 
 
 def main(argv=None) -> int:

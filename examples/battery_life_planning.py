@@ -8,11 +8,17 @@ classifies a frame every five minutes and must last at least a year on a
 1000 mWh cell?*
 
 Run with:  python examples/battery_life_planning.py [--inferences-per-hour 12]
+
+Set REPRO_EXAMPLE_MAX_CONFIGS to cap how many family configurations are
+swept (the CI examples smoke lane uses a small cap).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+
+import numpy as np
 
 import repro
 from repro.evaluation.accuracy_model import AccuracyModel
@@ -33,7 +39,11 @@ def main() -> None:
     acc_model = AccuracyModel()
     rows = []
     candidates = []
-    for spec in repro.all_mobilenet_configs():
+    configs = repro.all_mobilenet_configs()
+    max_configs = os.environ.get("REPRO_EXAMPLE_MAX_CONFIGS")
+    if max_configs:
+        configs = configs[: int(max_configs)]
+    for spec in configs:
         policy = repro.search_mixed_precision(
             spec, device.flash_bytes, device.ram_bytes,
             method=repro.QuantMethod.PC_ICN, strict=False,
@@ -67,6 +77,18 @@ def main() -> None:
         best = max(candidates)
         print(f"\nrecommended configuration: {best[1]} — {best[0]:.1f} % Top-1, "
               f"{best[2].battery_life_days:.0f} days of battery life")
+        # Materialise + compile the recommended deployment through the
+        # Session front door and classify one frame, as the sensor would.
+        resolution, width = best[1].split("_")
+        spec = repro.mobilenet_v1_spec(int(resolution), float(width))
+        session = repro.pipeline(spec, device=device)
+        frame = np.random.default_rng(0).uniform(
+            0.0, 1.0, size=(1, 3, spec.resolution, spec.resolution)
+        )
+        print(f"serving check: one frame classified as "
+              f"class {int(session.predict(frame)[0])} "
+              f"(arena peak "
+              f"{session.plan.arena_for((spec.resolution, spec.resolution)).logical_rw_peak_bytes / 1024:.0f} kB)")
     else:
         print("\nno configuration meets the battery-life target; "
               "reduce the inference rate or pick a lower-power device")

@@ -3,8 +3,10 @@
 Sweeps all 16 <resolution>_<width multiplier> configurations under the
 STM32H7 memory budgets with both deployment strategies of the paper
 (MixQ-PL and MixQ-PC-ICN), prints the accuracy-latency table and the
-Pareto-optimal configurations, and reports the headline result: the most
-accurate network that fits 2 MB of Flash and 512 kB of RAM.
+Pareto-optimal configurations, reports the headline result — the most
+accurate network that fits 2 MB of Flash and 512 kB of RAM — and then
+actually serves that winner through the `repro.runtime` Session front
+door as an end-to-end sanity check.
 
 Run with:  python examples/deploy_mobilenet_family.py [--flash-mb 2] [--ram-kb 512]
 """
@@ -12,6 +14,8 @@ Run with:  python examples/deploy_mobilenet_family.py [--flash-mb 2] [--ram-kb 5
 from __future__ import annotations
 
 import argparse
+
+import numpy as np
 
 import repro
 from repro.evaluation import experiments
@@ -55,6 +59,19 @@ def main() -> None:
           f"{best.top1:.1f} % Top-1 at {best.fps:.2f} fps")
     print(f"fastest deployment       : {fastest.label} [{fastest.method}] "
           f"{fastest.top1:.1f} % Top-1 at {fastest.fps:.2f} fps")
+
+    # Serve the winner: one pipeline() call runs the search again for the
+    # device, materialises the mixed-precision network, compiles it, and
+    # asserts the activation arena fits the RAM budget.
+    resolution, width = best.label.split("_")
+    spec = repro.mobilenet_v1_spec(int(resolution), float(width))
+    session = repro.pipeline(spec, device=device)
+    images = np.random.default_rng(0).uniform(
+        0.0, 1.0, size=(2, 3, spec.resolution, spec.resolution)
+    )
+    print(f"\nserving check for {best.label}: "
+          f"predictions {session.predict(images).tolist()}")
+    print("\n".join(session.describe(batch_size=2).splitlines()[-4:]))
 
 
 if __name__ == "__main__":

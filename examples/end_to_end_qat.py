@@ -11,9 +11,17 @@ bit-accurate integer kernels.  The script reports the accuracy at each
 stage and the deployed Flash footprint.
 
 Run with:  python examples/end_to_end_qat.py
+
+Set REPRO_EXAMPLE_EPOCHS to cap the training epochs (the CI examples
+smoke lane runs with REPRO_EXAMPLE_EPOCHS=1).
 """
 
 from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
 
 import repro
 from repro.core.graph_convert import convert_to_integer_network
@@ -21,6 +29,7 @@ from repro.core.memory_model import MemoryModel
 from repro.core.policy import QuantMethod, QuantPolicy
 from repro.data import make_synthetic_classification
 from repro.inference.export import deployment_size_bytes
+from repro.runtime import Session, SessionOptions
 from repro.training import (
     QATConfig,
     QATTrainer,
@@ -29,6 +38,12 @@ from repro.training import (
     evaluate_model,
     prepare_qat,
 )
+
+
+def _epochs(default: int) -> int:
+    """Training length, cappable via REPRO_EXAMPLE_EPOCHS for CI smoke."""
+    cap = os.environ.get("REPRO_EXAMPLE_EPOCHS")
+    return min(default, int(cap)) if cap else default
 
 
 def main() -> None:
@@ -44,7 +59,7 @@ def main() -> None:
     # Step 1 — full-precision pretraining: f(x).
     # ------------------------------------------------------------------
     print("1. full-precision pretraining")
-    fp_result = Trainer(model, TrainConfig(epochs=5, batch_size=32, lr=3e-3)).fit(dataset)
+    fp_result = Trainer(model, TrainConfig(epochs=_epochs(5), batch_size=32, lr=3e-3)).fit(dataset)
     print(f"   test accuracy: {fp_result.final_test_acc * 100:.1f} %")
 
     # ------------------------------------------------------------------
@@ -67,7 +82,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     print("\n3. quantization-aware retraining (PACT activations, PC weights)")
     prepare_qat(model, policy, calibration_data=dataset.x_train[:64])
-    QATTrainer(model, QATConfig(epochs=4, batch_size=32, lr=1e-3,
+    QATTrainer(model, QATConfig(epochs=_epochs(4), batch_size=32, lr=1e-3,
                                 lr_schedule={2: 5e-4, 3: 1e-4})).fit(dataset)
     model.eval()
     fq_acc = evaluate_model(model, dataset)
@@ -78,14 +93,29 @@ def main() -> None:
     # ------------------------------------------------------------------
     print("\n4. integer-only conversion (ICN activation layers)")
     net = convert_to_integer_network(model, method=QuantMethod.PC_ICN)
-    int_acc = float((net.predict(dataset.x_test) == dataset.y_test).mean())
     sizes = deployment_size_bytes(net)
+
+    # ------------------------------------------------------------------
+    # Step 5 — serve through the runtime Session front door, and prove
+    # the deployment artifact round-trips from disk bit-identically.
+    # ------------------------------------------------------------------
+    print("\n5. compile + serve through repro.runtime.Session")
+    session = Session(net, options=SessionOptions(batch_size=64, input_hw=(16, 16)))
+    int_acc = float((session.predict(dataset.x_test) == dataset.y_test).mean())
     print(f"   integer-only accuracy : {int_acc * 100:.1f} % "
           f"(ICN conversion loss {100 * (fq_acc - int_acc):+.2f} points)")
     print(f"   deployed Flash size   : {sizes['total'] / 1024:.1f} kB "
           f"({sizes['weights'] / 1024:.1f} kB weights + "
           f"{sizes['aux_params'] / 1024:.1f} kB ICN parameters)")
     print(f"   fits the RO budget    : {'yes' if sizes['total'] <= ro_budget else 'no'}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = session.save(tmp + "/model.artifact")
+        restored = Session.load(path)
+        same = np.array_equal(restored.run(dataset.x_test),
+                              session.run(dataset.x_test))
+    print(f"   artifact round trip   : saved, reloaded without the original "
+          f"network, bit-identical logits: {'yes' if same else 'NO'}")
 
 
 if __name__ == "__main__":

@@ -1,10 +1,13 @@
 """Quickstart: pick a MobileNetV1 configuration, run the memory-driven
-mixed-precision search for an STM32H7, and inspect the deployment report.
+mixed-precision search for an STM32H7, inspect the deployment report,
+and serve the deployment through the `repro.runtime` Session front door.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 import repro
 from repro.core.memory_model import MemoryModel
@@ -44,6 +47,21 @@ def main() -> None:
           f"(full precision baseline {AccuracyModel().full_precision_top1(spec):.1f} %)")
     print(f"read-only memory : {memory.ro_bytes(policy) / 1024 / 1024:.2f} MB")
     print(f"read-write peak  : {memory.rw_peak_bytes(policy) / 1024:.0f} kB")
+
+    # 6. Serve it: pipeline() materialises the mixed-precision deployment,
+    #    compiles it and asserts the activation arena fits the device —
+    #    one call from spec + policy + device to a running Session.
+    session = repro.pipeline(spec, policy=policy, device=device)
+    images = np.random.default_rng(0).uniform(
+        0.0, 1.0, size=(4, 3, spec.resolution, spec.resolution)
+    )
+    labels = session.predict(images)
+    print(f"\nserved a batch of {images.shape[0]} images "
+          f"-> predictions {labels.tolist()}")
+    print("\n" + "\n".join(session.describe(batch_size=4).splitlines()[-4:]))
+    print("\n(save/reload this deployment with session.save(path) and "
+          "repro.Session.load(path), or from the shell: "
+          "repro-mcu deploy --save-artifact)")
 
 
 if __name__ == "__main__":

@@ -10,9 +10,15 @@ training, QAT, ICN conversion, integer inference and a duty-cycle energy
 estimate — runs end to end.
 
 Run with:  python examples/smart_sensor_keyword_spotting.py
+
+Set REPRO_EXAMPLE_EPOCHS to cap the training epochs (the CI examples
+smoke lane runs with REPRO_EXAMPLE_EPOCHS=1).
 """
 
 from __future__ import annotations
+
+import os
+import tempfile
 
 import numpy as np
 
@@ -23,12 +29,19 @@ from repro.core.policy import QuantMethod, QuantPolicy
 from repro.data import make_synthetic_classification
 from repro.inference.export import deployment_size_bytes
 from repro.mcu.latency import network_cycles
+from repro.runtime import Session, SessionOptions
 from repro.training import QATConfig, QATTrainer, TrainConfig, Trainer, evaluate_model, prepare_qat
 
 #: Ten keyword classes ("yes", "no", ... plus silence/unknown), as in [25].
 NUM_KEYWORDS = 10
 #: Synthetic stand-in for 32x32 MFCC-style time-frequency patches.
 PATCH_SIZE = 32
+
+
+def _epochs(default: int) -> int:
+    """Training length, cappable via REPRO_EXAMPLE_EPOCHS for CI smoke."""
+    cap = os.environ.get("REPRO_EXAMPLE_EPOCHS")
+    return min(default, int(cap)) if cap else default
 
 
 def main() -> None:
@@ -47,7 +60,7 @@ def main() -> None:
     )
 
     print("training the keyword-spotting network in full precision ...")
-    fp = Trainer(model, TrainConfig(epochs=6, batch_size=32, lr=3e-3)).fit(dataset)
+    fp = Trainer(model, TrainConfig(epochs=_epochs(6), batch_size=32, lr=3e-3)).fit(dataset)
     print(f"  full-precision accuracy: {fp.final_test_acc * 100:.1f} %\n")
 
     # Memory-driven policy for the L4's budgets, scaled to the tiny model:
@@ -64,14 +77,25 @@ def main() -> None:
 
     print("\nquantization-aware retraining ...")
     prepare_qat(model, policy, calibration_data=dataset.x_train[:64])
-    QATTrainer(model, QATConfig(epochs=4, batch_size=32, lr=1e-3,
+    QATTrainer(model, QATConfig(epochs=_epochs(4), batch_size=32, lr=1e-3,
                                 lr_schedule={2: 5e-4})).fit(dataset)
     model.eval()
     fq_acc = evaluate_model(model, dataset)
 
     net = convert_to_integer_network(model, method=QuantMethod.PC_ICN)
-    int_acc = float((net.predict(dataset.x_test) == dataset.y_test).mean())
+    # Serve through the runtime front door: the Session compiles the
+    # integer graph once and streams the test sweep through the arena.
+    session = Session(net, options=SessionOptions(
+        batch_size=64, input_hw=(PATCH_SIZE, PATCH_SIZE)))
+    int_acc = float((session.predict(dataset.x_test) == dataset.y_test).mean())
     sizes = deployment_size_bytes(net)
+
+    # The deployable unit is the saved artifact: reload it from disk (no
+    # original network object) and check it serves identically.
+    with tempfile.TemporaryDirectory() as tmp:
+        restored = Session.load(session.save(tmp + "/kws.artifact"))
+        assert np.array_equal(restored.run(dataset.x_test),
+                              session.run(dataset.x_test))
     memory = MemoryModel(spec)
 
     latency = network_cycles(spec, policy)
@@ -90,6 +114,7 @@ def main() -> None:
     print(f"  latency on {device.name:<10s}: {latency_ms:6.1f} ms per inference")
     print(f"  energy per inference    : {energy_per_inference_mj:6.2f} mJ "
           f"(~{active_power_mw} mW active)")
+    print("  session artifact        : save/load round trip bit-identical")
 
 
 if __name__ == "__main__":

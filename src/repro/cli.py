@@ -3,14 +3,19 @@
 Installed as the ``repro-mcu`` console script::
 
     repro-mcu search  --resolution 192 --width 0.75 --flash-mb 2 --ram-kb 512
-    repro-mcu deploy  --resolution 224 --width 0.75 --device stm32h7
+    repro-mcu deploy  --resolution 224 --width 0.75 --device stm32h7 \
+                      --save-artifact model.artifact
+    repro-mcu run     model.artifact --batch 4 --profile
     repro-mcu sweep   --device stm32h7 --method PC+ICN
     repro-mcu table   table2
 
 ``search`` prints the per-tensor bit assignment (and optionally writes it
-as JSON), ``deploy`` adds the latency/memory report for a device preset,
-``sweep`` reproduces the Figure-2 style family sweep, and ``table``
-regenerates one of the paper's tables on the terminal.
+as JSON), ``deploy`` adds the latency/memory report for a device preset
+(and can materialise + save a servable session artifact), ``run`` loads
+a saved artifact and serves it (the quantize → compile → serve round
+trip of :mod:`repro.runtime`), ``sweep`` reproduces the Figure-2 style
+family sweep, and ``table`` regenerates one of the paper's tables on the
+terminal.
 """
 
 from __future__ import annotations
@@ -18,7 +23,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.core.memory_model import MemoryModel
 from repro.core.mixed_precision import search_mixed_precision
@@ -29,6 +37,7 @@ from repro.evaluation.tables import render_table
 from repro.mcu.deploy import deploy
 from repro.mcu.device import KB, MB, STM32F4, STM32F7, STM32H7, STM32L4, MCUDevice
 from repro.models.model_zoo import mobilenet_v1_spec
+from repro.runtime import Session, pipeline
 
 DEVICE_PRESETS = {
     "stm32h7": STM32H7,
@@ -97,7 +106,46 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
     print(report.summary())
     top1 = AccuracyModel().predict_top1(spec, report.policy)
     print(f"  predicted Top-1  : {top1:6.2f} %")
+    if args.save_artifact:
+        session = pipeline(
+            spec, policy=report.policy,
+            device=device if report.fits else None, seed=args.seed,
+        )
+        out = session.save(args.save_artifact)
+        print(f"  session artifact : {out} "
+              f"(load with `repro-mcu run {out}`)")
     return 0 if report.fits else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    session = Session.load(args.artifact)
+    plan = session.plan
+    if args.input:
+        x = np.load(args.input)
+        if x.ndim != 4:
+            print(f"error: {args.input} must hold an NCHW batch, "
+                  f"got shape {x.shape}", file=sys.stderr)
+            return 2
+    else:
+        hw = None
+        if args.resolution is not None:
+            hw = (args.resolution, args.resolution)
+        elif (session.options.input_hw or session.compile_options.input_hw) is None:
+            hw = (32, 32)  # artifact carries no geometry; pick a small default
+        x = session.synthetic_batch(args.batch, rng_seed=args.seed, input_hw=hw)
+    print(session.describe(input_hw=(x.shape[2], x.shape[3]),
+                           batch_size=x.shape[0]))
+    t0 = time.perf_counter()
+    preds = session.predict(x)
+    elapsed = time.perf_counter() - t0
+    print(f"\nran {x.shape[0]} image(s) at {x.shape[2]}x{x.shape[3]} "
+          f"in {elapsed * 1e3:.1f} ms "
+          f"({x.shape[0] / elapsed:.1f} imgs/sec)")
+    print(f"predictions: {preds.tolist()}")
+    if args.profile:
+        print()
+        print(session.profile(x, repeats=args.repeats).table())
+    return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -165,7 +213,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_network_args(p_deploy)
     _add_device_args(p_deploy)
     p_deploy.add_argument("--policy", help="use a previously saved policy JSON")
+    p_deploy.add_argument("--save-artifact", metavar="PATH",
+                          help="materialise the deployment as a servable "
+                               "session artifact at PATH")
+    p_deploy.add_argument("--seed", type=int, default=0,
+                          help="seed for the synthetic weight materialisation")
     p_deploy.set_defaults(func=_cmd_deploy)
+
+    p_run = sub.add_parser("run", help="load and serve a saved session artifact")
+    p_run.add_argument("artifact", help="artifact directory written by "
+                                        "Session.save / deploy --save-artifact")
+    p_run.add_argument("--input", help=".npy file with an NCHW image batch "
+                                       "(default: synthetic random batch)")
+    p_run.add_argument("--batch", type=int, default=1,
+                       help="synthetic batch size (default: 1)")
+    p_run.add_argument("--resolution", type=int, default=None,
+                       help="synthetic input resolution (default: the "
+                            "artifact's arena geometry)")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--profile", action="store_true",
+                       help="print the per-layer latency breakdown")
+    p_run.add_argument("--repeats", type=int, default=3,
+                       help="best-of repeats for --profile timings")
+    p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="Figure-2 style sweep of the whole family")
     _add_device_args(p_sweep)

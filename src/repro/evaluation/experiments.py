@@ -229,7 +229,9 @@ def evaluate_integer_network(
     """
     x = np.asarray(x)
     if compiled:
-        plan = net.compile(backend=backend)
+        from repro.runtime import CompileOptions
+
+        plan = net.compile(CompileOptions(backend=backend))
         logits = plan.run_batched(x, batch_size=batch_size)
     elif x.shape[0] <= batch_size:
         logits = net.forward(x)

@@ -27,7 +27,12 @@ from repro.inference.arena import (
     plan_activations,
 )
 from repro.inference.plan import ExecutionPlan, LayerPlanInfo
-from repro.inference.export import export_network, deployment_size_bytes
+from repro.inference.export import (
+    deployment_size_bytes,
+    export_network,
+    import_network,
+    validate_export,
+)
 
 __all__ = [
     "pack_subbyte",
@@ -54,5 +59,7 @@ __all__ = [
     "ExecutionPlan",
     "LayerPlanInfo",
     "export_network",
+    "import_network",
+    "validate_export",
     "deployment_size_bytes",
 ]

@@ -9,6 +9,7 @@ the final classifier dequantization used to produce real-valued logits.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
@@ -259,30 +260,56 @@ class IntegerNetwork:
         """Class predictions for a real image batch."""
         return np.argmax(self.forward(x_real), axis=1)
 
-    def compile(self, backend: str = "auto", validate: bool = True,
-                use_arena: bool = True, fused_depthwise="auto",
-                narrow: bool = True, refined_bound: bool = True,
-                input_hw=None):
+    def compile(self, options=None, **legacy_kwargs):
         """Compile the graph into an :class:`~repro.inference.plan.ExecutionPlan`.
 
-        The plan precomputes per-layer GEMM-form weights, requantization
-        constants and backend dispatch (narrowest exact accumulator under
-        the weight-data refined bound), runs range validation only at the
+        ``options`` is a :class:`repro.runtime.CompileOptions`; ``None``
+        compiles with the production defaults.  The plan precomputes
+        per-layer GEMM-form weights, requantization constants and
+        backend dispatch (narrowest exact accumulator under the
+        weight-data refined bound), runs range validation only at the
         network boundary, routes depthwise layers through the fused
         stencil kernel, stores activation codes at container width
         (``narrow=True``; uint8 for the paper's networks), executes
         inside a static activation arena (planned eagerly when
-        ``input_hw`` is given), and exposes a tiled ``run_batched`` for
-        large sweeps.  Outputs are bit-identical to this interpreted
-        engine.
+        ``options.input_hw`` is given), and exposes a tiled
+        ``run_batched`` for large sweeps.  Outputs are bit-identical to
+        this interpreted engine.
+
+        .. deprecated::
+            The historical loose keyword form
+            (``compile(backend=..., narrow=..., ...)``) still works but
+            emits a ``DeprecationWarning``; it builds the identical
+            ``CompileOptions`` and forwards.
         """
         from repro.inference.plan import ExecutionPlan
 
-        return ExecutionPlan(self, backend=backend, validate=validate,
-                             use_arena=use_arena,
-                             fused_depthwise=fused_depthwise,
-                             narrow=narrow, refined_bound=refined_bound,
-                             input_hw=input_hw)
+        if isinstance(options, str):
+            # Legacy positional form: compile("int32") bound the string
+            # to the old leading `backend` parameter.
+            if "backend" in legacy_kwargs:
+                raise TypeError(
+                    "compile() got multiple values for argument 'backend'"
+                )
+            legacy_kwargs = {"backend": options, **legacy_kwargs}
+            options = None
+        if legacy_kwargs:
+            if options is not None:
+                raise TypeError(
+                    "pass either options=CompileOptions(...) or the legacy "
+                    "keyword arguments, not both"
+                )
+            from repro.runtime.options import CompileOptions
+
+            warnings.warn(
+                "IntegerNetwork.compile(**kwargs) with loose keyword options "
+                "is deprecated; pass repro.runtime.CompileOptions instead, "
+                "e.g. net.compile(CompileOptions(narrow=False))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = CompileOptions.from_legacy_kwargs(**legacy_kwargs)
+        return ExecutionPlan(self, options)
 
     def weight_storage_bytes(self) -> int:
         total = sum(l.weight_storage_bytes() for l in self.conv_layers)

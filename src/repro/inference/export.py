@@ -21,7 +21,12 @@ from repro.inference.arena import (
     logical_rw_peak_bytes,
     plan_activations,
 )
-from repro.inference.engine import IntegerNetwork
+from repro.inference.engine import (
+    IntegerAvgPool,
+    IntegerConvLayer,
+    IntegerLinearLayer,
+    IntegerNetwork,
+)
 from repro.inference.kernels import gemm_reduction_length, resolve_gemm_backend
 from repro.inference.packing import (
     container_dtype,
@@ -95,8 +100,51 @@ def _network_geometries(net: IntegerNetwork) -> List[LayerGeometry]:
     return geoms
 
 
+def _requant_state(params) -> Dict:
+    """Full requantization parameters of one layer, keyed for re-import.
+
+    Everything :func:`import_network` needs to rebuild the params
+    dataclass bit-identically, minus what the entry itself already
+    carries (``w_bits``, ``out_bits``, the packed weights).
+    """
+    if isinstance(params, ICNParams):
+        return {
+            "z_w": np.asarray(params.z_w),
+            "z_x": int(params.z_x),
+            "z_y": int(params.z_y),
+            "bq": np.asarray(params.bq),
+            "m0": np.asarray(params.m0),
+            "n0": np.asarray(params.n0),
+            "per_channel": bool(params.per_channel),
+        }
+    if isinstance(params, FoldedBNParams):
+        return {
+            "z_w": int(params.z_w),
+            "z_x": int(params.z_x),
+            "z_y": int(params.z_y),
+            "bq": np.asarray(params.bq),
+            "m0": int(params.m0),
+            "n0": int(params.n0),
+        }
+    if isinstance(params, ThresholdParams):
+        return {
+            "z_w": np.asarray(params.z_w),
+            "z_x": int(params.z_x),
+            "thresholds": np.asarray(params.thresholds),
+            "direction": np.asarray(params.direction),
+        }
+    raise TypeError(f"unsupported params type {type(params)!r}")
+
+
 def export_network(net: IntegerNetwork, input_hw: Optional[Tuple[int, int]] = None) -> Dict:
     """Serialise the network into a nested dict of plain arrays/ints.
+
+    The export is *complete*: besides the packed weight blobs and the
+    Table 1 size accounting it carries every requantization parameter
+    and boundary scale, so :func:`import_network` can rebuild a
+    bit-identical :class:`IntegerNetwork` with no reference to the
+    original — the round trip the ``repro.runtime`` session artifact is
+    built on.
 
     With ``input_hw`` the export also carries the runtime activation
     plan: per-layer activation element counts plus the Eq. 7 RW peak, so
@@ -116,6 +164,8 @@ def export_network(net: IntegerNetwork, input_hw: Optional[Tuple[int, int]] = No
             "w_bits": p.w_bits,
             "out_bits": p.out_bits,
             "in_bits": layer.in_bits,
+            "in_scale": float(layer.in_scale),
+            "out_scale": float(layer.out_scale),
             "weight_shape": list(w_shape),
             "weights_packed": pack_subbyte(p.weights_q, p.w_bits),
             "weight_bytes": packed_size_bytes(int(p.weights_q.size), p.w_bits),
@@ -125,6 +175,7 @@ def export_network(net: IntegerNetwork, input_hw: Optional[Tuple[int, int]] = No
             "weights_crc32": zlib.crc32(pack_subbyte(p.weights_q, p.w_bits).tobytes()),
             "aux_bytes": _layer_aux_bytes(p),
             "strategy": type(p).__name__,
+            "requant": _requant_state(p),
             # Host-emulation dispatch decision (recorded so a firmware
             # image and the emulator agree on the accumulator contract).
             "k_reduction": int(k_reduction),
@@ -137,6 +188,7 @@ def export_network(net: IntegerNetwork, input_hw: Optional[Tuple[int, int]] = No
         out["classifier"] = {
             "name": cl.name,
             "w_bits": cl.w_bits,
+            "in_bits": cl.in_bits,
             "k_reduction": gemm_reduction_length("fc", cl.weights_q.shape),
             "gemm_backend": resolve_gemm_backend(
                 "auto", gemm_reduction_length("fc", cl.weights_q.shape), cl.in_bits, cl.w_bits
@@ -149,7 +201,13 @@ def export_network(net: IntegerNetwork, input_hw: Optional[Tuple[int, int]] = No
             "aux_bytes": int(np.asarray(cl.s_w).size) * (_BYTES["bq"] + _BYTES["z_pc"])
             + (0 if cl.bias is None else cl.bias.size * 4),
             "strategy": "linear",
+            "z_w": np.asarray(cl.z_w),
+            "s_w": np.asarray(cl.s_w, dtype=np.float64),
+            "z_x": int(cl.z_x),
+            "s_in": float(cl.s_in),
+            "bias": None if cl.bias is None else np.asarray(cl.bias, dtype=np.float64),
         }
+    out["pool"] = net.pool is not None
     out["input"] = {
         "scale": net.input_scale,
         "zero_point": net.input_zero_point,
@@ -223,6 +281,122 @@ def validate_export(exported: Dict) -> Dict[str, int]:
             )
         total += expected
     return {"layers": len(entries), "weight_bytes": total}
+
+
+def _unpack_entry_weights(entry: Dict) -> np.ndarray:
+    """Unpack one export entry's weight blob back into container codes."""
+    bits = int(entry["w_bits"])
+    shape = tuple(int(d) for d in entry["weight_shape"])
+    count = int(np.prod(shape)) if shape else 1
+    codes = unpack_subbyte(
+        np.asarray(entry["weights_packed"], dtype=np.uint8), bits, count
+    )
+    return codes.reshape(shape)
+
+
+def _import_requant(entry: Dict):
+    """Rebuild the requantization params dataclass of one export entry."""
+    if "requant" not in entry:
+        raise ValueError(
+            f"{entry.get('name', '<layer>')}: export carries no 'requant' "
+            f"section — re-export the network with export_network() to get "
+            f"a round-trippable dict"
+        )
+    r = entry["requant"]
+    w = _unpack_entry_weights(entry)
+    strategy = entry["strategy"]
+    if strategy == "ICNParams":
+        return ICNParams(
+            weights_q=w,
+            z_w=np.asarray(r["z_w"]),
+            z_x=int(r["z_x"]),
+            z_y=int(r["z_y"]),
+            bq=np.asarray(r["bq"]),
+            m0=np.asarray(r["m0"]),
+            n0=np.asarray(r["n0"]),
+            out_bits=int(entry["out_bits"]),
+            w_bits=int(entry["w_bits"]),
+            per_channel=bool(r["per_channel"]),
+        )
+    if strategy == "FoldedBNParams":
+        return FoldedBNParams(
+            weights_q=w,
+            z_w=int(r["z_w"]),
+            z_x=int(r["z_x"]),
+            z_y=int(r["z_y"]),
+            bq=np.asarray(r["bq"]),
+            m0=int(r["m0"]),
+            n0=int(r["n0"]),
+            out_bits=int(entry["out_bits"]),
+            w_bits=int(entry["w_bits"]),
+        )
+    if strategy == "ThresholdParams":
+        return ThresholdParams(
+            weights_q=w,
+            z_w=np.asarray(r["z_w"]),
+            z_x=int(r["z_x"]),
+            thresholds=np.asarray(r["thresholds"]),
+            direction=np.asarray(r["direction"]),
+            out_bits=int(entry["out_bits"]),
+            w_bits=int(entry["w_bits"]),
+        )
+    raise ValueError(f"unknown requantization strategy {strategy!r}")
+
+
+def import_network(exported: Dict) -> IntegerNetwork:
+    """Rebuild an :class:`IntegerNetwork` from an :func:`export_network` dict.
+
+    The inverse of :func:`export_network`: weights are unpacked from the
+    narrow blobs into their container dtype and every requantization
+    parameter is restored exactly, so the imported network's
+    ``forward``/``compile`` are bit-identical to the original's.  Run
+    :func:`validate_export` first when the dict crossed a disk or
+    network boundary — import itself trusts the blobs.
+    """
+    conv_layers = []
+    for entry in exported["conv_layers"]:
+        conv_layers.append(
+            IntegerConvLayer(
+                name=str(entry["name"]),
+                kind=str(entry["kind"]),
+                stride=int(entry["stride"]),
+                padding=int(entry["padding"]),
+                params=_import_requant(entry),
+                in_bits=int(entry["in_bits"]),
+                out_bits=int(entry["out_bits"]),
+                in_scale=float(entry.get("in_scale", 0.0)),
+                out_scale=float(entry.get("out_scale", 0.0)),
+            )
+        )
+    classifier = None
+    if "classifier" in exported:
+        cl = exported["classifier"]
+        if "s_w" not in cl:
+            raise ValueError(
+                "classifier entry carries no dequantization state — "
+                "re-export the network with export_network()"
+            )
+        bias = cl.get("bias")
+        classifier = IntegerLinearLayer(
+            name=str(cl["name"]),
+            weights_q=_unpack_entry_weights(cl),
+            z_w=np.asarray(cl["z_w"]),
+            s_w=np.asarray(cl["s_w"], dtype=np.float64),
+            z_x=int(cl["z_x"]),
+            s_in=float(cl["s_in"]),
+            bias=None if bias is None else np.asarray(bias, dtype=np.float64),
+            in_bits=int(cl["in_bits"]),
+            w_bits=int(cl["w_bits"]),
+        )
+    inp = exported["input"]
+    return IntegerNetwork(
+        conv_layers=conv_layers,
+        pool=IntegerAvgPool() if exported.get("pool", True) else None,
+        classifier=classifier,
+        input_scale=float(inp["scale"]),
+        input_zero_point=int(inp["zero_point"]),
+        input_bits=int(inp["bits"]),
+    )
 
 
 def deployment_size_bytes(net: IntegerNetwork) -> Dict[str, int]:

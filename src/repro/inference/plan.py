@@ -638,32 +638,46 @@ class LayerPlanInfo:
 class ExecutionPlan:
     """Compiled form of an :class:`~repro.inference.engine.IntegerNetwork`.
 
-    ``validate`` controls the boundary range check on incoming codes and
-    a one-time weight-code check at compile time; the per-call per-layer
-    scans of the interpreted engine never run inside the plan.
+    Construction is driven by a single
+    :class:`~repro.runtime.options.CompileOptions` value (the loose
+    keyword arguments of earlier revisions survive only through the
+    deprecated ``IntegerNetwork.compile(**kwargs)`` shim):
 
-    ``use_arena`` routes all activation/scratch traffic through a static
-    :class:`~repro.inference.arena.ActivationArena` (planned lazily per
-    input geometry, or eagerly when ``input_hw`` is given).
-    ``fused_depthwise`` selects the stencil depthwise kernel: ``"auto"``
-    (default) per-call by the cache-threshold rule, ``True`` always,
-    ``False`` never.  ``narrow`` (default) keeps activation codes at
-    container width end to end; ``narrow=False`` plus ``use_arena=False``
-    plus ``fused_depthwise=False`` restores the PR-1 int64 im2col
-    behaviour for A/B comparisons and tests.
+    ``options.validate`` controls the boundary range check on incoming
+    codes and a one-time weight-code check at compile time; the per-call
+    per-layer scans of the interpreted engine never run inside the plan.
+    ``options.use_arena`` routes all activation/scratch traffic through
+    a static :class:`~repro.inference.arena.ActivationArena` (planned
+    lazily per input geometry, or eagerly when ``options.input_hw`` is
+    given).  ``options.fused_depthwise`` selects the stencil depthwise
+    kernel: ``"auto"`` (default) per-call by the cache-threshold rule,
+    ``True`` always, ``False`` never.  ``options.narrow`` (default)
+    keeps activation codes at container width end to end;
+    ``narrow=False`` plus ``use_arena=False`` plus
+    ``fused_depthwise=False`` restores the PR-1 int64 im2col behaviour
+    for A/B comparisons and tests.
     """
 
-    def __init__(self, network, backend: str = "auto", validate: bool = True,
-                 use_arena: bool = True, fused_depthwise="auto",
-                 narrow: bool = True, refined_bound: bool = True,
-                 input_hw: Optional[Tuple[int, int]] = None):
-        self.validate = bool(validate)
-        self.use_arena = bool(use_arena)
-        self.narrow = bool(narrow)
+    def __init__(self, network, options=None):
+        from repro.runtime.options import CompileOptions
+
+        if options is None:
+            options = CompileOptions()
+        elif not isinstance(options, CompileOptions):
+            raise TypeError(
+                f"options must be a repro.runtime.CompileOptions, got "
+                f"{type(options).__name__!r} — the loose-kwargs form only "
+                f"survives through IntegerNetwork.compile(**kwargs)"
+            )
+        self.options = options
+        self.validate = bool(options.validate)
+        self.use_arena = bool(options.use_arena)
+        self.narrow = bool(options.narrow)
         self.layers: List[CompiledConvLayer] = [
-            CompiledConvLayer(l, backend=backend, validate=self.validate,
-                              fused_depthwise=fused_depthwise, narrow=self.narrow,
-                              refined_bound=refined_bound)
+            CompiledConvLayer(l, backend=options.backend, validate=self.validate,
+                              fused_depthwise=options.fused_depthwise,
+                              narrow=self.narrow,
+                              refined_bound=options.refined_bound)
             for l in network.conv_layers
         ]
         self.input_scale = float(network.input_scale)
@@ -672,12 +686,13 @@ class ExecutionPlan:
         self.has_pool = network.pool is not None
         self.classifier: Optional[CompiledLinear] = (
             None if network.classifier is None
-            else CompiledLinear(network.classifier, backend=backend,
-                                validate=self.validate, refined_bound=refined_bound)
+            else CompiledLinear(network.classifier, backend=options.backend,
+                                validate=self.validate,
+                                refined_bound=options.refined_bound)
         )
         self._arenas: Dict[Tuple[int, int], ActivationArena] = {}
-        if input_hw is not None:
-            self.arena_for(input_hw)
+        if options.input_hw is not None:
+            self.arena_for(options.input_hw)
 
     # -- input boundary ------------------------------------------------
     def quantize_input(self, x_real: np.ndarray) -> np.ndarray:
@@ -763,6 +778,25 @@ class ExecutionPlan:
             return self.classifier(codes)
         return codes.astype(np.float64)
 
+    def output_spec(self, input_shape: Sequence[int]) -> Tuple[Tuple[int, ...], np.dtype]:
+        """Per-image output shape and dtype of :meth:`run` — without running.
+
+        ``input_shape`` is the per-image ``(C, H, W)``.  Logits (and the
+        pool-less code passthrough) are always float64; the shape cascade
+        is the same geometry walk the arena planner performs.
+        """
+        dtype = np.dtype(np.float64)
+        if self.classifier is not None:
+            return (self.classifier.out_channels,), dtype
+        c, h, w = (int(d) for d in input_shape)
+        for layer in self.layers:
+            h = conv_output_size(h, layer.kh, layer.stride, layer.padding)
+            w = conv_output_size(w, layer.kw, layer.stride, layer.padding)
+            c = layer.out_channels
+        if self.has_pool:
+            return (c,), dtype
+        return (c, h, w), dtype
+
     def run_batched(self, x_real: np.ndarray, batch_size: int = 32) -> np.ndarray:
         """Stream a large sweep through the plan in fixed-size tiles.
 
@@ -771,17 +805,24 @@ class ExecutionPlan:
         is the compile-time ``arena_for(hw).planned_bytes(batch_size)``
         regardless of the sweep size — sweeps far larger than RAM would
         allow for whole-sweep activations stream through unchanged.
+
+        Degenerate sweeps take the cheap path: an empty batch returns an
+        empty, correctly-shaped result without touching the kernels, and
+        a sweep no larger than one tile (including batch-of-1) runs
+        single-shot with no intermediate result copy.
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         x_real = np.asarray(x_real)
         n = x_real.shape[0]
+        if n == 0:
+            shape, dtype = self.output_spec(x_real.shape[1:])
+            return np.empty((0,) + shape, dtype=dtype)
         if n <= batch_size:
             return self.run(x_real)
-        first = self.run(x_real[:batch_size])
-        out = np.empty((n,) + first.shape[1:], dtype=first.dtype)
-        out[:batch_size] = first
-        for i in range(batch_size, n, batch_size):
+        shape, dtype = self.output_spec(x_real.shape[1:])
+        out = np.empty((n,) + shape, dtype=dtype)
+        for i in range(0, n, batch_size):
             out[i:i + batch_size] = self.run(x_real[i:i + batch_size])
         return out
 

@@ -229,21 +229,38 @@ def integer_network_from_spec(
     w_bits: int = 8,
     per_channel: bool = True,
     strategy: str = "icn",
+    policy=None,
 ) -> IntegerNetwork:
     """Random integer deployment of an entire :class:`NetworkSpec`.
 
     Layer shapes (channels, kernels, strides, paddings) follow the spec;
     weights and requantization parameters are synthetic.  Useful wherever
     a full-size deployment graph is needed without running QAT first.
+
+    ``policy`` (a :class:`~repro.core.policy.QuantPolicy` aligned with
+    ``spec.layers``) overrides the uniform ``act_bits``/``w_bits`` with
+    the per-layer ``q_w``/``q_in``/``q_out`` assignment the
+    mixed-precision search produced — the materialisation step
+    :func:`repro.runtime.pipeline` uses to turn a search result into a
+    runnable mixed-precision deployment.
     """
     rng = rng or np.random.default_rng(0)
+    if policy is not None and len(policy) != len(spec.layers):
+        raise ValueError(
+            f"policy has {len(policy)} layers but spec {spec.name!r} "
+            f"has {len(spec.layers)}"
+        )
     conv_layers = []
     classifier = None
-    for layer in spec.layers:
+    for i, layer in enumerate(spec.layers):
+        lp = policy[i] if policy is not None else None
+        l_in = lp.q_in if lp is not None else act_bits
+        l_out = lp.q_out if lp is not None else act_bits
+        l_w = lp.q_w if lp is not None else w_bits
         if layer.kind == "fc":
             classifier = random_linear_layer(
                 rng, layer.in_channels, layer.out_channels,
-                in_bits=act_bits, w_bits=w_bits, per_channel=per_channel,
+                in_bits=l_in, w_bits=l_w, per_channel=per_channel,
             )
             continue
         conv_layers.append(
@@ -255,19 +272,20 @@ def integer_network_from_spec(
                 kernel=layer.kernel_size,
                 stride=layer.stride,
                 padding=layer.padding,
-                in_bits=act_bits,
-                out_bits=act_bits,
-                w_bits=w_bits,
+                in_bits=l_in,
+                out_bits=l_out,
+                w_bits=l_w,
                 per_channel=per_channel,
                 strategy=strategy,
                 name=layer.name,
             )
         )
+    input_bits = policy[0].q_in if policy is not None and len(policy) else act_bits
     return IntegerNetwork(
         conv_layers=conv_layers,
         pool=IntegerAvgPool(),
         classifier=classifier,
         input_scale=1.0 / 255.0,
         input_zero_point=0,
-        input_bits=act_bits,
+        input_bits=input_bits,
     )

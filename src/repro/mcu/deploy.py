@@ -50,7 +50,8 @@ def assert_arena_fits(plan, device: MCUDevice, input_hw,
                       check_physical: bool = True) -> int:
     """Assert a *compiled* plan's activation peak fits the device RAM.
 
-    ``plan`` is an :class:`~repro.inference.plan.ExecutionPlan`; the
+    ``plan`` is an :class:`~repro.inference.plan.ExecutionPlan` (a
+    :class:`repro.runtime.Session` is accepted too and unwrapped); the
     check uses the arena's logical (Eq. 7, packed-code) RW peak — the
     runtime counterpart of :func:`check_fit`'s analytical term, derived
     from the actual compiled layer stack instead of a
@@ -70,6 +71,10 @@ def assert_arena_fits(plan, device: MCUDevice, input_hw,
     Returns the logical peak in bytes; raises ``ValueError`` when it
     exceeds the device's RW budget or the physical check fails.
     """
+    from repro.runtime.session import Session
+
+    if isinstance(plan, Session):
+        plan = plan.plan
     arena = plan.arena_for(input_hw)
     peak = arena.logical_rw_peak_bytes
     if peak > device.ram_bytes:

@@ -1,0 +1,79 @@
+"""repro.runtime — the public serving API (canonical reference).
+
+This package is the single front door onto the integer inference stack:
+everything an application needs to quantize, compile, serve, save and
+reload a network lives behind four names::
+
+    from repro.runtime import CompileOptions, Session, SessionOptions, pipeline
+
+Quickstart
+----------
+::
+
+    import repro
+    from repro.runtime import CompileOptions, Session, SessionOptions, pipeline
+
+    # spec + policy + device -> a running session (search included):
+    spec = repro.mobilenet_v1_spec(192, 0.5)
+    session = pipeline(spec, device=repro.STM32H7)
+    logits = session.run(images)               # single shot
+    labels = session.predict(image_sweep)      # tiled through the arena
+    print(session.describe())                  # per-layer dispatch + arena plan
+
+    # Or wrap a QAT-converted network directly:
+    session = Session(net, CompileOptions(backend="int32"),
+                      SessionOptions(batch_size=16, input_hw=(32, 32)))
+
+    # Round-trippable deployment artifact (JSON manifest + CRC'd blobs):
+    session.save("model.artifact")
+    restored = Session.load("model.artifact")  # bit-identical, no net needed
+
+Vocabulary
+----------
+:class:`CompileOptions`
+    Frozen dataclass of compilation knobs — ``backend`` (GEMM dispatch
+    tier), ``validate`` (boundary/weight range checks), ``use_arena``
+    (static activation arena), ``fused_depthwise`` (stencil kernel
+    dispatch), ``narrow`` (container-width activation codes),
+    ``refined_bound`` (weight-data accumulator bound), ``input_hw``
+    (eager arena planning).  Replaces the historical loose kwargs of
+    ``IntegerNetwork.compile()``, which survive only as a deprecated
+    shim that forwards here.
+:class:`SessionOptions`
+    Frozen dataclass of serving knobs — ``batch_size`` (default tile
+    for ``run_batched``/``predict``), ``validate`` (per-session
+    boundary-check override), ``input_hw`` (arena geometry planned at
+    session construction).
+:class:`Session`
+    A compiled, servable network: ``run`` / ``run_batched`` /
+    ``predict`` / ``run_codes`` execute, ``describe`` / ``layer_info``
+    / ``profile`` introspect, ``save`` / ``load`` round-trip the
+    on-disk artifact.
+:func:`pipeline`
+    ``spec [+ policy] [+ device] -> Session`` — the one-call
+    replacement for hand-wired search → convert → compile chains, with
+    the device RW-budget assertion built in.
+:mod:`repro.runtime.artifact`
+    The artifact format itself (``save_artifact`` / ``load_artifact``),
+    for tooling that wants the raw manifest.
+
+All four names are re-exported at the top level (``repro.Session`` …)
+and the ``repro-mcu run <artifact>`` CLI subcommand serves a saved
+artifact from the shell.
+"""
+
+from repro.runtime.artifact import load_artifact, read_manifest, save_artifact
+from repro.runtime.options import CompileOptions, SessionOptions
+from repro.runtime.session import LayerTiming, Session, SessionProfile, pipeline
+
+__all__ = [
+    "CompileOptions",
+    "SessionOptions",
+    "Session",
+    "SessionProfile",
+    "LayerTiming",
+    "pipeline",
+    "save_artifact",
+    "load_artifact",
+    "read_manifest",
+]

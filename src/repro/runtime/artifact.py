@@ -1,0 +1,207 @@
+"""Round-trippable session artifacts: JSON manifest + CRC-checked blobs.
+
+A saved artifact is a directory with exactly two files::
+
+    <artifact>/
+        manifest.json   # structure, options, scalar parameters, blob table
+        blobs.bin       # concatenated binary tensors (weights + requant arrays)
+
+The manifest is the :func:`repro.inference.export.export_network` dict
+with every numpy array hoisted into ``blobs.bin`` and replaced by a
+``{"$blob": <name>}`` reference; the blob table records each tensor's
+offset, byte length, dtype, shape and CRC32.  Loading verifies every
+blob's CRC (and re-runs :func:`~repro.inference.export.validate_export`
+on the reassembled dict, which re-checks the packed weight blobs against
+their recorded checksums and byte budgets) before a single kernel runs —
+the host-side equivalent of a firmware loader's integrity pass — then
+rebuilds the network via
+:func:`~repro.inference.export.import_network`.  No reference to the
+originating :class:`~repro.inference.engine.IntegerNetwork` survives in
+the artifact; rehydration is bit-identical by construction and by test.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.inference.export import export_network, import_network, validate_export
+from repro.runtime.options import CompileOptions, SessionOptions
+
+ARTIFACT_FORMAT = "repro/session-artifact"
+ARTIFACT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+BLOBS_NAME = "blobs.bin"
+
+
+class _BlobWriter:
+    """Accumulates named tensors into one byte stream + a manifest table."""
+
+    def __init__(self):
+        self.chunks = []
+        self.table: Dict[str, Dict] = {}
+        self.offset = 0
+
+    def add(self, name: str, array: np.ndarray) -> Dict:
+        if name in self.table:
+            raise ValueError(f"duplicate blob name {name!r}")
+        arr = np.ascontiguousarray(array)
+        raw = arr.tobytes()
+        self.table[name] = {
+            "offset": self.offset,
+            "nbytes": len(raw),
+            "dtype": arr.dtype.str,  # endian-explicit, e.g. "<i8" / "|u1"
+            "shape": list(arr.shape),
+            "crc32": zlib.crc32(raw),
+        }
+        self.chunks.append(raw)
+        self.offset += len(raw)
+        return {"$blob": name}
+
+    def payload(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+def _jsonable(value):
+    """Recursively convert an export dict to plain JSON types (arrays
+    must already have been replaced by blob references)."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        raise TypeError("array leaked into the manifest without a blob ref")
+    return value
+
+
+def _externalize(node, writer: _BlobWriter, prefix: str):
+    """Replace every numpy array under ``node`` with a blob reference."""
+    if isinstance(node, np.ndarray):
+        return writer.add(prefix, node)
+    if isinstance(node, dict):
+        return {k: _externalize(v, writer, f"{prefix}/{k}") for k, v in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_externalize(v, writer, f"{prefix}[{i}]") for i, v in enumerate(node)]
+    return node
+
+
+def _internalize(node, blobs: bytes, table: Dict[str, Dict], path: Path):
+    """Inverse of :func:`_externalize`: resolve blob refs, CRC-checked."""
+    if isinstance(node, dict):
+        if set(node) == {"$blob"}:
+            name = node["$blob"]
+            meta = table.get(name)
+            if meta is None:
+                raise ValueError(f"{path}: manifest references unknown blob {name!r}")
+            start, nbytes = int(meta["offset"]), int(meta["nbytes"])
+            raw = blobs[start:start + nbytes]
+            if len(raw) != nbytes:
+                raise ValueError(
+                    f"{path}: blob {name!r} is truncated "
+                    f"({len(raw)} of {nbytes} bytes present)"
+                )
+            crc = zlib.crc32(raw)
+            if crc != int(meta["crc32"]):
+                raise ValueError(
+                    f"{path}: blob {name!r} checksum {crc:#010x} does not "
+                    f"match the recorded CRC32 {int(meta['crc32']):#010x}"
+                )
+            arr = np.frombuffer(raw, dtype=np.dtype(meta["dtype"]))
+            return arr.reshape(tuple(meta["shape"])).copy()
+        return {k: _internalize(v, blobs, table, path) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_internalize(v, blobs, table, path) for v in node]
+    return node
+
+
+def save_artifact(
+    path: Union[str, Path],
+    network,
+    compile_options: Optional[CompileOptions] = None,
+    session_options: Optional[SessionOptions] = None,
+    input_hw: Optional[Tuple[int, int]] = None,
+) -> Path:
+    """Serialise ``network`` (+ options) into an artifact directory.
+
+    ``input_hw`` additionally embeds the activation-arena plan (Eq. 7 RW
+    peak and container-width physical bytes) for that geometry, so a
+    loader can assert device fit without rebuilding the plan.  Returns
+    the artifact directory path.
+    """
+    compile_options = compile_options or CompileOptions()
+    session_options = session_options or SessionOptions()
+    if input_hw is None:
+        input_hw = session_options.input_hw or compile_options.input_hw
+    exported = export_network(network, input_hw=input_hw)
+    writer = _BlobWriter()
+    manifest = {
+        "format": ARTIFACT_FORMAT,
+        "version": ARTIFACT_VERSION,
+        "compile_options": compile_options.to_dict(),
+        "session_options": session_options.to_dict(),
+        "network": _jsonable(_externalize(exported, writer, "net")),
+    }
+    manifest["blobs"] = writer.table
+    out = Path(path)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / BLOBS_NAME).write_bytes(writer.payload())
+    with open(out / MANIFEST_NAME, "w") as fh:
+        json.dump(manifest, fh, indent=2)
+        fh.write("\n")
+    return out
+
+
+def read_manifest(path: Union[str, Path]) -> Dict:
+    """Parse and structurally check an artifact's manifest (no blobs)."""
+    root = Path(path)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise FileNotFoundError(
+            f"{root} is not a session artifact (missing {MANIFEST_NAME})"
+        )
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    if manifest.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"{manifest_path}: unrecognised artifact format "
+            f"{manifest.get('format')!r} (expected {ARTIFACT_FORMAT!r})"
+        )
+    if int(manifest.get("version", 0)) > ARTIFACT_VERSION:
+        raise ValueError(
+            f"{manifest_path}: artifact version {manifest.get('version')} is "
+            f"newer than this runtime understands ({ARTIFACT_VERSION})"
+        )
+    return manifest
+
+
+def load_artifact(path: Union[str, Path]):
+    """Load an artifact back into ``(network, compile_opts, session_opts, manifest)``.
+
+    Every blob is CRC-verified against the manifest table, the
+    reassembled export dict passes the deployment-side
+    :func:`validate_export` integrity pass (packed-weight byte budgets +
+    checksums + container dtypes), and the network is rebuilt with
+    :func:`import_network` — all without the original
+    ``IntegerNetwork``.
+    """
+    root = Path(path)
+    manifest = read_manifest(root)
+    blobs = (root / BLOBS_NAME).read_bytes()
+    exported = _internalize(
+        manifest["network"], blobs, manifest.get("blobs", {}), root
+    )
+    validate_export(exported)
+    network = import_network(exported)
+    compile_options = CompileOptions.from_dict(manifest.get("compile_options", {}))
+    session_options = SessionOptions.from_dict(manifest.get("session_options", {}))
+    return network, compile_options, session_options, manifest

@@ -1,0 +1,174 @@
+"""Options dataclasses for the :mod:`repro.runtime` front door.
+
+:class:`CompileOptions` replaces the loose keyword arguments that
+``IntegerNetwork.compile()`` accreted (``backend``, ``validate``,
+``use_arena``, ``fused_depthwise``, ``narrow``, ``refined_bound``,
+``input_hw``) with one frozen, validated, hashable value object —
+the ONNX-Runtime ``SessionOptions`` shape.  :class:`SessionOptions`
+carries the serving-side knobs (batch tiling, boundary-validation
+override, arena geometry) consumed by :class:`repro.runtime.Session`.
+
+Both classes are plain data: constructing them performs no work beyond
+validation, and the same instance can configure any number of networks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+#: GEMM backends understood by the compiled plan (see
+#: :func:`repro.inference.plan._resolve_compiled_backend`).
+VALID_BACKENDS = ("auto", "blas", "int32", "int64")
+
+
+def _normalize_hw(value) -> Optional[Tuple[int, int]]:
+    if value is None:
+        return None
+    try:
+        h, w = value
+    except (TypeError, ValueError):
+        raise ValueError(f"input_hw must be a (height, width) pair, got {value!r}")
+    h, w = int(h), int(w)
+    if h < 1 or w < 1:
+        raise ValueError(f"input_hw must be positive, got {(h, w)}")
+    return (h, w)
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """How an :class:`~repro.inference.engine.IntegerNetwork` is compiled
+    into an :class:`~repro.inference.plan.ExecutionPlan`.
+
+    Fields (all keyword-friendly, all with the production defaults):
+
+    ``backend``
+        GEMM dispatch: ``"auto"`` picks the narrowest exact accumulator
+        per layer under the refined bound; ``"blas"`` forces the float
+        tiers (error if inexact); ``"int32"`` forces the MCU-style int32
+        accumulator under the ``2^31`` bound; ``"int64"`` forces the
+        exact einsum reference.
+    ``validate``
+        Range-check weight codes at compile time and activation codes at
+        the network boundary.  Disabling also voids the refined-bound
+        guarantee (dispatch falls back to the a-priori corner case).
+    ``use_arena``
+        Execute inside the static activation arena (zero steady-state
+        allocations).  ``False`` restores per-call allocation for A/B.
+    ``fused_depthwise``
+        Depthwise kernel dispatch: ``"auto"`` (cache-threshold rule),
+        ``True`` (always the im2col-free stencil), ``False`` (never).
+    ``narrow``
+        Store activation codes at container width (uint8 for all paper
+        widths).  ``False`` restores the legacy int64-code pipeline.
+    ``refined_bound``
+        Use the weight-data refined accumulator bound for dispatch
+        (promotes most wide pointwise layers to float32 BLAS).
+    ``input_hw``
+        Optional ``(H, W)`` to plan the activation arena eagerly at
+        compile time instead of lazily on first run.
+    """
+
+    backend: str = "auto"
+    validate: bool = True
+    use_arena: bool = True
+    fused_depthwise: Union[bool, str] = "auto"
+    narrow: bool = True
+    refined_bound: bool = True
+    input_hw: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self):
+        if self.backend not in VALID_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {VALID_BACKENDS}, got {self.backend!r}"
+            )
+        if self.fused_depthwise not in (True, False, "auto"):
+            raise ValueError(
+                f"fused_depthwise must be True, False or 'auto', "
+                f"got {self.fused_depthwise!r}"
+            )
+        object.__setattr__(self, "input_hw", _normalize_hw(self.input_hw))
+
+    @classmethod
+    def from_legacy_kwargs(cls, **kwargs) -> "CompileOptions":
+        """Build options from the historical ``compile(**kwargs)`` names.
+
+        The legacy keyword names map one-to-one onto the dataclass
+        fields; unknown names raise ``TypeError`` listing the valid set,
+        so old call sites fail loudly instead of silently ignoring a
+        typo'd option.
+        """
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(kwargs) - valid
+        if unknown:
+            raise TypeError(
+                f"unknown compile option(s) {sorted(unknown)}; "
+                f"valid options are {sorted(valid)}"
+            )
+        return cls(**kwargs)
+
+    def replace(self, **changes) -> "CompileOptions":
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by the session artifact)."""
+        d = dataclasses.asdict(self)
+        if d["input_hw"] is not None:
+            d["input_hw"] = list(d["input_hw"])
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CompileOptions":
+        return cls.from_legacy_kwargs(**d)
+
+
+@dataclass(frozen=True)
+class SessionOptions:
+    """Serving-side configuration of a :class:`repro.runtime.Session`.
+
+    ``batch_size``
+        Default tile size for ``Session.run_batched`` / ``predict`` —
+        large sweeps stream through the activation arena in tiles of
+        this many images.
+    ``validate``
+        Boundary-validation override for ``run_codes``: ``None`` keeps
+        the compiled plan's setting, ``True``/``False`` force it per
+        session.
+    ``input_hw``
+        Arena geometry: when given, the session plans (and allocates on
+        first use) the activation arena for this ``(H, W)`` at
+        construction, so the first request pays no planning latency.
+    """
+
+    batch_size: int = 32
+    validate: Optional[bool] = None
+    input_hw: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self):
+        if int(self.batch_size) < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        object.__setattr__(self, "batch_size", int(self.batch_size))
+        object.__setattr__(self, "input_hw", _normalize_hw(self.input_hw))
+
+    def replace(self, **changes) -> "SessionOptions":
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        if d["input_hw"] is not None:
+            d["input_hw"] = list(d["input_hw"])
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SessionOptions":
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - valid
+        if unknown:
+            raise TypeError(
+                f"unknown session option(s) {sorted(unknown)}; "
+                f"valid options are {sorted(valid)}"
+            )
+        return cls(**d)

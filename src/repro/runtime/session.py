@@ -1,0 +1,303 @@
+"""The :class:`Session` front door: quantize → compile → serve in one object.
+
+``Session`` owns a compiled :class:`~repro.inference.plan.ExecutionPlan`
+plus the options it was built with, and adds the serving conveniences
+the bare plan does not have: default batch tiling, a per-layer
+:meth:`profile`, and — the round-trip capability — :meth:`save` /
+:meth:`load` to/from the on-disk artifact format of
+:mod:`repro.runtime.artifact`.  :func:`pipeline` is the one-call
+replacement for the hand-wired spec → policy → convert → compile chains.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.inference.plan import ExecutionPlan
+from repro.runtime.artifact import load_artifact, save_artifact
+from repro.runtime.options import CompileOptions, SessionOptions
+
+
+@dataclass
+class LayerTiming:
+    """Best-of-N wall time of one compiled layer inside the arena."""
+
+    name: str
+    kind: str
+    dispatch: str
+    seconds: float
+
+
+@dataclass
+class SessionProfile:
+    """Per-layer latency breakdown returned by :meth:`Session.profile`."""
+
+    batch_size: int
+    input_hw: Tuple[int, int]
+    layers: List[LayerTiming] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    def table(self) -> str:
+        from repro.evaluation.tables import render_table
+
+        rows = [
+            [t.name, t.kind, t.dispatch, round(t.seconds * 1e3, 3),
+             round(100.0 * t.seconds / self.total_seconds, 1)
+             if self.total_seconds else 0.0]
+            for t in self.layers
+        ]
+        layer_sum = sum(t.seconds for t in self.layers)
+        rows.append(["TOTAL (end to end)", "", "", round(self.total_seconds * 1e3, 3),
+                     round(100.0 * layer_sum / self.total_seconds, 1)
+                     if self.total_seconds else 0.0])
+        h, w = self.input_hw
+        return render_table(
+            ["Layer", "Kind", "Dispatch", "ms", "% of e2e"], rows,
+            title=f"session profile — batch {self.batch_size} @ {h}x{w}",
+        )
+
+
+def _best_of(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, reps)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class Session:
+    """A compiled, servable integer network.
+
+    ``Session(network)`` compiles with the production defaults;
+    ``Session(network, CompileOptions(...), SessionOptions(...))``
+    customises compilation and serving.  The session eagerly plans (and
+    on ``options.input_hw`` geometry, allocates lazily like the plan)
+    the activation arena, so steady-state serving performs no per-layer
+    allocations.
+
+    The session is also the unit of deployment: :meth:`save` writes a
+    self-contained artifact (JSON manifest + CRC-checked binary blobs)
+    and :meth:`load` rehydrates it into a bit-identical running session
+    with no reference to the originating network object.
+    """
+
+    def __init__(
+        self,
+        network,
+        compile_options: Optional[CompileOptions] = None,
+        options: Optional[SessionOptions] = None,
+    ):
+        self.network = network
+        self.compile_options = compile_options or CompileOptions()
+        self.options = options or SessionOptions()
+        self._plan = ExecutionPlan(network, self.compile_options)
+        if self.options.input_hw is not None:
+            self._plan.arena_for(self.options.input_hw)
+
+    # -- introspection -------------------------------------------------
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The compiled :class:`ExecutionPlan` backing this session."""
+        return self._plan
+
+    def layer_info(self):
+        return self._plan.layer_info()
+
+    def describe(self, input_hw: Optional[Tuple[int, int]] = None,
+                 batch_size: Optional[int] = None) -> str:
+        """Per-layer dispatch summary plus the arena plan (see
+        :meth:`ExecutionPlan.describe`); defaults come from the session
+        options."""
+        return self._plan.describe(
+            input_hw=input_hw or self.options.input_hw,
+            batch_size=batch_size or self.options.batch_size,
+        )
+
+    # -- serving -------------------------------------------------------
+    def run(self, x_real: np.ndarray) -> np.ndarray:
+        """Single-shot inference: real NCHW batch -> real logits."""
+        return self._plan.run(x_real)
+
+    def run_codes(self, x_codes: np.ndarray) -> np.ndarray:
+        """Run the conv trunk on integer codes (boundary validation per
+        ``options.validate``; ``None`` keeps the compiled default)."""
+        return self._plan.run_codes(x_codes, validate=self.options.validate)
+
+    def run_batched(self, x_real: np.ndarray,
+                    batch_size: Optional[int] = None) -> np.ndarray:
+        """Stream a sweep through the arena in ``batch_size`` tiles
+        (default ``options.batch_size``)."""
+        return self._plan.run_batched(
+            x_real, batch_size=batch_size or self.options.batch_size
+        )
+
+    def predict(self, x_real: np.ndarray,
+                batch_size: Optional[int] = None) -> np.ndarray:
+        """Class predictions, tiled through the arena by default."""
+        return np.argmax(self.run_batched(x_real, batch_size=batch_size), axis=1)
+
+    def synthetic_batch(self, batch_size: int = 1, rng_seed: int = 0,
+                        input_hw: Optional[Tuple[int, int]] = None) -> np.ndarray:
+        """A random real-valued NCHW batch matching the session's input
+        geometry: channel count from the first compiled layer, ``(H, W)``
+        from ``input_hw`` falling back to the session's then the
+        compile-time arena geometry.  The single source of the
+        synthetic-input rule shared by :meth:`profile` and the
+        ``repro-mcu run`` CLI."""
+        hw = input_hw or self.options.input_hw or self.compile_options.input_hw
+        if hw is None:
+            raise ValueError(
+                "no input geometry known: pass input_hw or set "
+                "SessionOptions(input_hw=...)"
+            )
+        plan = self._plan
+        channels = plan.layers[0].in_channels if plan.layers else 1
+        return np.random.default_rng(rng_seed).uniform(
+            0.0, 1.0, size=(int(batch_size), channels, hw[0], hw[1])
+        )
+
+    def profile(self, x_real: Optional[np.ndarray] = None,
+                batch_size: Optional[int] = None, repeats: int = 3,
+                rng_seed: int = 0) -> SessionProfile:
+        """Best-of-``repeats`` per-layer latency breakdown.
+
+        With no input, a synthetic batch is drawn at the session's arena
+        geometry (``options.input_hw`` falling back to the compile-time
+        geometry); layer timings run inside the arena on propagated
+        intermediate codes, exactly like steady-state serving.
+        """
+        plan = self._plan
+        if x_real is None:
+            x_real = self.synthetic_batch(
+                batch_size or self.options.batch_size, rng_seed=rng_seed
+            )
+        x_real = np.asarray(x_real)
+        n, _, h, w = x_real.shape
+        prof = SessionProfile(batch_size=n, input_hw=(h, w))
+        prof.total_seconds = _best_of(lambda: plan.run(x_real), repeats)
+        codes = plan.quantize_input(x_real)
+        arena = None
+        if plan.use_arena and plan.layers:
+            arena = plan.arena_for((h, w))
+            arena.ensure(n)
+        infos = {i.name: i for i in plan.layer_info()}
+        for i, layer in enumerate(plan.layers):
+            info = infos[layer.name]
+            dispatch = f"{info.backend}/{info.gemm_dtype}->{info.container}"
+            if info.dw_mode:
+                dispatch += f" dw:{info.dw_mode}"
+            if arena is not None:
+                t = _best_of(lambda: layer(codes, arena=arena, slot=i % 2), repeats)
+            else:
+                t = _best_of(lambda: layer(codes), repeats)
+            prof.layers.append(LayerTiming(layer.name, layer.kind, dispatch, t))
+            codes = layer(codes)  # propagate via owned (non-arena) arrays
+        if plan.has_pool:
+            from repro.inference.kernels import int_avg_pool_global
+
+            t = _best_of(lambda: int_avg_pool_global(codes), repeats)
+            prof.layers.append(LayerTiming("global_avg_pool", "pool", "-", t))
+            codes = int_avg_pool_global(codes)
+        if plan.classifier is not None:
+            c = plan.classifier
+            t = _best_of(lambda: c(codes), repeats)
+            dispatch = f"{c.backend}/{np.dtype(c.gemm_dtype).name}->logits"
+            prof.layers.append(LayerTiming(c.name, "fc", dispatch, t))
+        return prof
+
+    # -- persistence ---------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the session as a loadable artifact directory
+        (manifest.json + CRC-checked blobs.bin); returns the path."""
+        return save_artifact(
+            path,
+            self.network,
+            compile_options=self.compile_options,
+            session_options=self.options,
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Session":
+        """Rehydrate a saved artifact into a running session.
+
+        Blob CRCs and packed-weight budgets are verified before
+        compilation; the resulting plan is bit-identical to the one the
+        artifact was saved from.
+        """
+        network, compile_options, session_options, _ = load_artifact(path)
+        return cls(network, compile_options=compile_options, options=session_options)
+
+
+def pipeline(
+    spec,
+    *,
+    policy=None,
+    device=None,
+    method=None,
+    network=None,
+    seed: int = 0,
+    compile_options: Optional[CompileOptions] = None,
+    options: Optional[SessionOptions] = None,
+    strict: bool = False,
+) -> Session:
+    """One front door for quantize → compile → serve.
+
+    From a :class:`~repro.models.model_zoo.NetworkSpec` this runs the
+    memory-driven mixed-precision search (when ``policy`` is not given
+    and a ``device`` provides the budgets), materialises an integer
+    deployment of the spec honouring the policy's per-layer bit
+    assignment, compiles it into a session, and — when ``device`` is
+    given and the policy is feasible — asserts the activation arena fits
+    the device's RW budget.  Every keyword has a production default:
+
+    ``pipeline(spec, device=STM32H7)`` is the whole paper flow.
+
+    ``network`` short-circuits the synthetic materialisation with a
+    prebuilt :class:`~repro.inference.engine.IntegerNetwork` (e.g. from
+    :func:`~repro.core.graph_convert.convert_to_integer_network` after
+    QAT), in which case ``policy`` is only used for reporting/fit checks.
+    """
+    from repro.core.mixed_precision import search_mixed_precision
+    from repro.core.policy import QuantMethod, QuantPolicy
+
+    if method is None:
+        method = policy.method if policy is not None else QuantMethod.PC_ICN
+    if policy is None:
+        if device is not None:
+            policy = search_mixed_precision(
+                spec, device.flash_bytes, device.ram_bytes,
+                method=method, strict=strict,
+            )
+        else:
+            policy = QuantPolicy.uniform(spec, method=method)
+    if network is None:
+        from repro.inference.testing import integer_network_from_spec
+
+        strategy = (
+            "thr" if method is QuantMethod.PC_THRESHOLDS
+            else "folded" if method.folds_batchnorm
+            else "icn"
+        )
+        network = integer_network_from_spec(
+            spec, np.random.default_rng(seed),
+            per_channel=method.per_channel, strategy=strategy, policy=policy,
+        )
+    if options is None:
+        options = SessionOptions(input_hw=(spec.resolution, spec.resolution))
+    session = Session(network, compile_options=compile_options, options=options)
+    if (
+        device is not None
+        and policy.feasible
+        and session.plan.use_arena
+        and options.input_hw is not None
+    ):
+        from repro.mcu.deploy import assert_arena_fits
+
+        assert_arena_fits(session.plan, device, options.input_hw)
+    return session

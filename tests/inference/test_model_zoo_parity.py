@@ -55,7 +55,30 @@ class TestRunBatchedEdgeCases:
     def test_empty_sweep(self, small_plan):
         _, plan = small_plan
         out = plan.run_batched(np.zeros((0, 3, 32, 32)), batch_size=4)
-        assert out.shape[0] == 0
+        assert out.shape == (0, 5) and out.dtype == np.float64
+
+    def test_batch_of_one_input(self, small_plan):
+        _, plan = small_plan
+        one = np.random.default_rng(3).uniform(0, 1, size=(1, 3, 32, 32))
+        assert np.array_equal(plan.run(one), plan.run_batched(one, batch_size=32))
+
+    def test_batch_size_larger_than_sweep(self, small_plan, sweep):
+        _, plan = small_plan
+        assert np.array_equal(
+            plan.run(sweep), plan.run_batched(sweep, batch_size=10 * self.N)
+        )
+
+    def test_nonpositive_batch_size_rejected(self, small_plan, sweep):
+        _, plan = small_plan
+        for bad in (0, -3):
+            with pytest.raises(ValueError, match="positive"):
+                plan.run_batched(sweep, batch_size=bad)
+
+    def test_output_spec_matches_real_output(self, small_plan, sweep):
+        _, plan = small_plan
+        shape, dtype = plan.output_spec(sweep.shape[1:])
+        out = plan.run(sweep)
+        assert out.shape[1:] == shape and out.dtype == dtype
 
     def test_batched_output_is_one_preallocated_array(self, small_plan, sweep):
         _, plan = small_plan

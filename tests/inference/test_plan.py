@@ -10,6 +10,7 @@ from repro.core.graph_convert import convert_to_integer_network
 from repro.evaluation.experiments import evaluate_integer_network
 from repro.inference.plan import ExecutionPlan
 from repro.inference.testing import integer_network_from_spec
+from repro.runtime import CompileOptions
 from repro.models.model_zoo import mobilenet_v1_spec
 
 
@@ -179,6 +180,6 @@ class TestEvaluateIntegerNetwork:
 
 def test_plan_constructor_direct(integer_net, small_dataset):
     """ExecutionPlan can also be built without the compile() sugar."""
-    plan = ExecutionPlan(integer_net, backend="auto", validate=True)
+    plan = ExecutionPlan(integer_net, CompileOptions(backend="auto", validate=True))
     x = small_dataset.x_test[:2]
     assert np.array_equal(plan.run(x), integer_net.forward(x))

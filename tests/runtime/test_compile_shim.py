@@ -1,0 +1,97 @@
+"""The legacy ``IntegerNetwork.compile(**kwargs)`` deprecation shim:
+old call sites keep working, warn exactly once, and build the identical
+plan the ``CompileOptions`` front door builds."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.inference.testing import integer_network_from_spec
+from repro.models.model_zoo import mobilenet_v1_spec
+from repro.runtime import CompileOptions
+
+
+@pytest.fixture(scope="module")
+def net():
+    spec = mobilenet_v1_spec(32, 0.25, num_classes=5)
+    return integer_network_from_spec(spec, np.random.default_rng(7))
+
+
+@pytest.fixture(scope="module")
+def x():
+    return np.random.default_rng(8).uniform(0, 1, size=(2, 3, 32, 32))
+
+
+def test_default_compile_does_not_warn(net):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        net.compile()
+        net.compile(CompileOptions(narrow=False))
+
+
+def test_legacy_kwargs_emit_single_deprecation_warning(net):
+    with warnings.catch_warnings(record=True) as rec:
+        warnings.simplefilter("always")
+        net.compile(narrow=False, refined_bound=False, use_arena=False)
+    deprecations = [w for w in rec if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "CompileOptions" in str(deprecations[0].message)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"narrow": False},
+    {"backend": "int64"},
+    {"backend": "int32"},
+    {"validate": False},
+    {"use_arena": False, "fused_depthwise": False},
+    {"narrow": False, "refined_bound": False, "input_hw": (32, 32)},
+])
+def test_legacy_kwargs_build_the_identical_plan(net, x, kwargs):
+    with pytest.deprecated_call():
+        legacy = net.compile(**kwargs)
+    modern = net.compile(CompileOptions(**kwargs))
+    assert legacy.options == modern.options
+    assert list(legacy.layer_info()) == list(modern.layer_info())
+    assert np.array_equal(legacy.run(x), modern.run(x))
+
+
+def test_legacy_plan_matches_interpreted_reference(net, x):
+    """The parity contract survives the shim: a legacy-kwargs plan is
+    still bit-identical to the interpreted int64 engine."""
+    ref = net.forward(x)
+    with pytest.deprecated_call():
+        plan = net.compile(narrow=False, fused_depthwise=False, use_arena=False)
+    assert np.array_equal(ref, plan.run(x))
+
+
+def test_legacy_positional_backend_still_works(net, x):
+    """compile('int64') bound the string to the old leading `backend`
+    parameter; the shim must keep that form alive too."""
+    with pytest.deprecated_call():
+        plan = net.compile("int64")
+    assert all(i.backend == "int64" for i in plan.layer_info())
+    assert np.array_equal(net.forward(x), plan.run(x))
+
+
+def test_positional_and_keyword_backend_conflict_is_an_error(net):
+    with pytest.raises(TypeError, match="multiple values for argument 'backend'"):
+        net.compile("int64", backend="int32")
+
+
+def test_plan_constructor_rejects_non_options(net):
+    from repro.inference.plan import ExecutionPlan
+
+    with pytest.raises(TypeError, match="CompileOptions"):
+        ExecutionPlan(net, {"backend": "auto"})
+
+
+def test_options_and_kwargs_together_is_an_error(net):
+    with pytest.raises(TypeError, match="not both"):
+        net.compile(CompileOptions(), narrow=False)
+
+
+def test_unknown_legacy_kwarg_is_an_error(net):
+    with pytest.deprecated_call():
+        with pytest.raises(TypeError, match="narow"):
+            net.compile(narow=False)

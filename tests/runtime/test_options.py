@@ -1,0 +1,64 @@
+"""CompileOptions / SessionOptions: validation, normalisation, round trip."""
+
+import pytest
+
+from repro.runtime import CompileOptions, SessionOptions
+
+
+class TestCompileOptions:
+    def test_defaults_are_the_production_pipeline(self):
+        o = CompileOptions()
+        assert o.backend == "auto" and o.validate and o.use_arena
+        assert o.fused_depthwise == "auto" and o.narrow and o.refined_bound
+        assert o.input_hw is None
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CompileOptions().backend = "blas"
+
+    def test_hashable_and_equal_by_value(self):
+        assert CompileOptions(narrow=False) == CompileOptions(narrow=False)
+        assert len({CompileOptions(), CompileOptions()}) == 1
+
+    def test_input_hw_normalised_to_int_tuple(self):
+        o = CompileOptions(input_hw=[64.0, 32])
+        assert o.input_hw == (64, 32)
+        assert all(isinstance(d, int) for d in o.input_hw)
+
+    @pytest.mark.parametrize("bad", [{"backend": "sgemm"},
+                                     {"fused_depthwise": "maybe"},
+                                     {"input_hw": (0, 4)},
+                                     {"input_hw": 32}])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ValueError):
+            CompileOptions(**bad)
+
+    def test_from_legacy_kwargs_rejects_unknown_names(self):
+        with pytest.raises(TypeError, match="valid options"):
+            CompileOptions.from_legacy_kwargs(narow=True)
+
+    def test_replace(self):
+        o = CompileOptions().replace(backend="int64")
+        assert o.backend == "int64" and o.narrow
+
+    def test_dict_round_trip(self):
+        o = CompileOptions(backend="int32", narrow=False, input_hw=(8, 8))
+        assert CompileOptions.from_dict(o.to_dict()) == o
+
+
+class TestSessionOptions:
+    def test_defaults(self):
+        o = SessionOptions()
+        assert o.batch_size == 32 and o.validate is None and o.input_hw is None
+
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SessionOptions(batch_size=0)
+
+    def test_dict_round_trip(self):
+        o = SessionOptions(batch_size=4, validate=False, input_hw=(16, 16))
+        assert SessionOptions.from_dict(o.to_dict()) == o
+
+    def test_from_dict_rejects_unknown_names(self):
+        with pytest.raises(TypeError, match="valid options"):
+            SessionOptions.from_dict({"batchsize": 2})

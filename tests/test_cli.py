@@ -84,3 +84,49 @@ class TestSweepAndTable:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             cli.main(["frobnicate"])
+
+
+class TestRunCommand:
+    """deploy --save-artifact -> run: the CLI serve round trip."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "model.artifact"
+        rc = cli.main(["deploy", "--resolution", "128", "--width", "0.25",
+                       "--save-artifact", str(path)])
+        assert rc == 0
+        return path
+
+    def test_deploy_saves_loadable_artifact(self, artifact, capsys):
+        from repro.runtime import Session
+
+        session = Session.load(artifact)
+        assert session.options.input_hw == (128, 128)
+
+    def test_run_serves_synthetic_batch(self, artifact, capsys):
+        rc = cli.main(["run", str(artifact), "--batch", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "predictions:" in out and "imgs/sec" in out
+        assert "activation arena" in out
+
+    def test_run_profile_breakdown(self, artifact, capsys):
+        rc = cli.main(["run", str(artifact), "--profile", "--repeats", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "session profile" in out
+
+    def test_run_npy_input(self, artifact, tmp_path, capsys):
+        import numpy as np
+
+        x = np.random.default_rng(0).uniform(0, 1, size=(3, 3, 32, 32))
+        np.save(tmp_path / "batch.npy", x)
+        rc = cli.main(["run", str(artifact), "--input", str(tmp_path / "batch.npy")])
+        out = capsys.readouterr().out
+        assert rc == 0 and "ran 3 image(s)" in out
+
+    def test_run_rejects_non_nchw_input(self, artifact, tmp_path, capsys):
+        import numpy as np
+
+        np.save(tmp_path / "bad.npy", np.zeros((3, 32, 32)))
+        rc = cli.main(["run", str(artifact), "--input", str(tmp_path / "bad.npy")])
+        assert rc == 2
