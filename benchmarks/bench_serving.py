@@ -1,0 +1,221 @@
+"""Serving-tier load generator: latency percentiles vs offered load,
+with and without injected faults.
+
+Two drive modes against a real in-process :class:`ServingServer` (real
+sockets, real micro-batching, real executor thread):
+
+* **closed loop** — K concurrent clients, each firing its next request
+  the moment the previous one completes.  Measures the tier's saturated
+  throughput and the latency cost of micro-batch tiling.
+* **open loop** — requests launched on a fixed metronome at an offered
+  QPS regardless of completions (the paper-standard way to expose queue
+  buildup: a closed loop self-throttles and hides it).  Swept across
+  several offered rates.
+
+Each scenario runs twice — clean, and under a deterministic fault mix
+(transient kernel faults + slow batches) — so the report quantifies what
+the robustness layer (retry, degradation, shedding) costs in p50/p99.
+
+Run as a script (CI smoke lane)::
+
+    python benchmarks/bench_serving.py --quick
+
+which publishes ``benchmarks/results/BENCH_serving.json`` and exits
+non-zero if the server fails to serve, sheds everything, or shuts down
+dirty.
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.inference.testing import integer_network_from_spec
+from repro.models.model_zoo import mobilenet_v1_spec
+from repro.runtime import Session, SessionOptions
+from repro.serving import (
+    FaultInjector,
+    RetryPolicy,
+    ServerOptions,
+    ServingServer,
+    predict,
+)
+from repro.serving.metrics import LatencyRecorder
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Small enough that a laptop-class CI runner saturates it quickly.
+RESOLUTION = 32
+WIDTH = 0.25
+
+FAULT_MIX = "kernel:every=20;slow:every=15,delay=0.01"
+
+
+def _make_session() -> Session:
+    spec = mobilenet_v1_spec(RESOLUTION, WIDTH, num_classes=5)
+    net = integer_network_from_spec(spec, np.random.default_rng(0))
+    return Session(net, options=SessionOptions(input_hw=(RESOLUTION, RESOLUTION)))
+
+
+def _image() -> np.ndarray:
+    return np.random.default_rng(1).uniform(0, 1, size=(3, RESOLUTION, RESOLUTION))
+
+
+async def _closed_loop(host, port, image, clients, requests_per_client,
+                       deadline_ms):
+    lat = LatencyRecorder()
+    statuses = []
+
+    async def worker():
+        for _ in range(requests_per_client):
+            t0 = time.perf_counter()
+            status, _ = await predict(host, port, image, deadline_ms=deadline_ms)
+            lat.observe(time.perf_counter() - t0)
+            statuses.append(status)
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*[worker() for _ in range(clients)])
+    wall = time.perf_counter() - t0
+    return lat, statuses, wall
+
+
+async def _open_loop(host, port, image, qps, duration_s, deadline_ms):
+    lat = LatencyRecorder()
+    statuses = []
+
+    async def one():
+        t0 = time.perf_counter()
+        status, _ = await predict(host, port, image, deadline_ms=deadline_ms)
+        lat.observe(time.perf_counter() - t0)
+        statuses.append(status)
+
+    interval = 1.0 / qps
+    n = max(1, int(duration_s * qps))
+    t_start = time.perf_counter()
+    tasks = []
+    for i in range(n):
+        target = t_start + i * interval
+        delay = target - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.create_task(one()))
+    await asyncio.gather(*tasks)
+    wall = time.perf_counter() - t_start
+    return lat, statuses, wall
+
+
+def _tally(lat: LatencyRecorder, statuses, wall):
+    counts = {}
+    for s in statuses:
+        counts[str(s)] = counts.get(str(s), 0) + 1
+    summary = lat.summary()
+    return {
+        "requests": len(statuses),
+        "status_counts": counts,
+        "achieved_qps": round(len(statuses) / wall, 1) if wall > 0 else 0.0,
+        "p50_ms": summary["p50_ms"],
+        "p90_ms": summary["p90_ms"],
+        "p99_ms": summary["p99_ms"],
+    }
+
+
+async def _run_profile(session, faults_spec, quick):
+    faults = FaultInjector.parse(faults_spec) if faults_spec else None
+    options = ServerOptions(
+        port=0, max_batch=8, max_wait_ms=2.0, queue_depth=256,
+        default_deadline_ms=0.0,  # measure latency, don't drop
+        retry=RetryPolicy(attempts=2, base_delay_s=0.005),
+    )
+    server = ServingServer(session, options, faults=faults)
+    host, port = await server.start()
+    image = _image()
+    out = {}
+    try:
+        clients = 4 if quick else 16
+        per_client = 8 if quick else 32
+        lat, statuses, wall = await _closed_loop(
+            host, port, image, clients, per_client, deadline_ms=0)
+        out["closed_loop"] = dict(_tally(lat, statuses, wall),
+                                  clients=clients)
+
+        sweep = [50, 100] if quick else [25, 50, 100, 200, 400]
+        duration = 0.5 if quick else 2.0
+        out["open_loop"] = []
+        for qps in sweep:
+            lat, statuses, wall = await _open_loop(
+                host, port, image, qps, duration, deadline_ms=0)
+            out["open_loop"].append(dict(_tally(lat, statuses, wall),
+                                         offered_qps=qps))
+        out["pending_at_stop"] = len(server.batcher)
+        out["server_stats"] = server.stats.to_dict()
+        if faults:
+            out["fault_summary"] = faults.summary()
+    finally:
+        await server.stop()
+    return out
+
+
+def run_bench(quick: bool, output: Path) -> int:
+    session = _make_session()
+    report = {
+        "bench": "serving",
+        "model": f"mobilenet_v1_{RESOLUTION}_{WIDTH}",
+        "mode": "quick" if quick else "full",
+        "fault_mix": FAULT_MIX,
+        "clean": asyncio.run(_run_profile(session, None, quick)),
+        "faulted": asyncio.run(_run_profile(session, FAULT_MIX, quick)),
+    }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[saved to {output}]")
+
+    failures = []
+    for label in ("clean", "faulted"):
+        closed = report[label]["closed_loop"]
+        ok = int(closed["status_counts"].get("200", 0))
+        if ok == 0:
+            failures.append(f"{label}: closed loop served nothing")
+        if closed["p99_ms"] <= 0:
+            failures.append(f"{label}: no latency samples")
+        if report[label]["pending_at_stop"]:
+            failures.append(f"{label}: dirty shutdown (requests left pending)")
+    faulted = report["faulted"]
+    if not any(v["fires"] for v in faulted.get("fault_summary", {}).values()):
+        failures.append("faulted: fault mix never fired")
+    if faulted["server_stats"]["batches"]["retries"] < 1:
+        failures.append("faulted: kernel faults never exercised retry")
+
+    for label in ("clean", "faulted"):
+        c = report[label]["closed_loop"]
+        print(f"{label:>8}  closed-loop  {c['achieved_qps']:>7} qps   "
+              f"p50 {c['p50_ms']:>7} ms   p99 {c['p99_ms']:>7} ms")
+        for point in report[label]["open_loop"]:
+            print(f"{label:>8}  open@{point['offered_qps']:<4}    "
+                  f"{point['achieved_qps']:>7} qps   "
+                  f"p50 {point['p50_ms']:>7} ms   p99 {point['p99_ms']:>7} ms")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("serving bench OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweep for the CI smoke lane")
+    parser.add_argument("--output", type=Path,
+                        default=RESULTS_DIR / "BENCH_serving.json")
+    args = parser.parse_args(argv)
+    return run_bench(args.quick, args.output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

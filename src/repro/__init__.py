@@ -40,7 +40,15 @@ from repro.mcu.device import MCUDevice, STM32H7, STM32F7, STM32F4, STM32L4
 from repro.mcu.deploy import deploy, DeploymentReport
 from repro.training.qat import prepare_qat, QATConfig, QATTrainer
 from repro.evaluation.accuracy_model import AccuracyModel
-from repro.runtime import CompileOptions, Session, SessionOptions, pipeline
+from repro.runtime import (
+    ArtifactError,
+    ArtifactNotFoundError,
+    CompileOptions,
+    InvalidInputError,
+    Session,
+    SessionOptions,
+    pipeline,
+)
 
 __version__ = "1.1.0"
 
@@ -76,5 +84,8 @@ __all__ = [
     "SessionOptions",
     "Session",
     "pipeline",
+    "ArtifactError",
+    "ArtifactNotFoundError",
+    "InvalidInputError",
     "__version__",
 ]

@@ -6,6 +6,7 @@ Installed as the ``repro-mcu`` console script::
     repro-mcu deploy  --resolution 224 --width 0.75 --device stm32h7 \
                       --save-artifact model.artifact
     repro-mcu run     model.artifact --batch 4 --profile
+    repro-mcu serve   model.artifact --port 8707 --max-batch 8
     repro-mcu sweep   --device stm32h7 --method PC+ICN
     repro-mcu table   table2
 
@@ -13,9 +14,13 @@ Installed as the ``repro-mcu`` console script::
 as JSON), ``deploy`` adds the latency/memory report for a device preset
 (and can materialise + save a servable session artifact), ``run`` loads
 a saved artifact and serves it (the quantize → compile → serve round
-trip of :mod:`repro.runtime`), ``sweep`` reproduces the Figure-2 style
-family sweep, and ``table`` regenerates one of the paper's tables on the
-terminal.
+trip of :mod:`repro.runtime`), ``serve`` exposes an artifact over the
+fault-tolerant micro-batching HTTP front end of :mod:`repro.serving`,
+``sweep`` reproduces the Figure-2 style family sweep, and ``table``
+regenerates one of the paper's tables on the terminal.
+
+Operational errors (missing or corrupt artifacts, bad input files) exit
+nonzero with a one-line ``error:`` message — never a traceback.
 """
 
 from __future__ import annotations
@@ -37,7 +42,7 @@ from repro.evaluation.tables import render_table
 from repro.mcu.deploy import deploy
 from repro.mcu.device import KB, MB, STM32F4, STM32F7, STM32H7, STM32L4, MCUDevice
 from repro.models.model_zoo import mobilenet_v1_spec
-from repro.runtime import Session, pipeline
+from repro.runtime import ArtifactError, Session, pipeline
 
 DEVICE_PRESETS = {
     "stm32h7": STM32H7,
@@ -115,6 +120,40 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
         print(f"  session artifact : {out} "
               f"(load with `repro-mcu run {out}`)")
     return 0 if report.fits else 1
+
+
+def _fault_spec(text: str) -> str:
+    """argparse type for --inject: validate early so a typo dies as a
+    usage error instead of a traceback after the artifact loads."""
+    from repro.serving import FaultInjector
+
+    try:
+        FaultInjector.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return text
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import FaultInjector, RetryPolicy, ServerOptions, serve
+
+    session = Session.load(args.artifact)
+    faults = None
+    if args.inject:
+        faults = FaultInjector.parse(args.inject, seed=args.fault_seed)
+    options = ServerOptions(
+        host=args.host, port=args.port,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        queue_depth=args.queue_depth,
+        default_deadline_ms=args.deadline_ms,
+        batch_timeout_s=args.batch_timeout,
+        retry=RetryPolicy(attempts=args.retries),
+        circuit_threshold=args.circuit_threshold,
+        circuit_reset_s=args.circuit_reset,
+        degrade=not args.no_degrade,
+    )
+    serve(session, options, faults=faults, ttl_s=args.ttl)
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -237,6 +276,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="best-of repeats for --profile timings")
     p_run.set_defaults(func=_cmd_run)
 
+    p_serve = sub.add_parser(
+        "serve", help="serve an artifact over the fault-tolerant "
+                      "micro-batching HTTP front end")
+    p_serve.add_argument("artifact", help="artifact directory written by "
+                                          "Session.save / deploy --save-artifact")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8707,
+                         help="TCP port (0 = ephemeral; default: 8707)")
+    p_serve.add_argument("--max-batch", type=int, default=8,
+                         help="micro-batch tile size (default: 8)")
+    p_serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                         help="partial-tile flush timeout (default: 5 ms)")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         help="admission queue bound; beyond it requests "
+                              "are shed with a 503 (default: 64)")
+    p_serve.add_argument("--deadline-ms", type=float, default=1000.0,
+                         help="default per-request deadline; expired requests "
+                              "are dropped before batching (default: 1000)")
+    p_serve.add_argument("--batch-timeout", type=float, default=30.0,
+                         help="hung-batch watchdog, seconds (default: 30)")
+    p_serve.add_argument("--retries", type=int, default=2,
+                         help="retries per batch on transient faults (default: 2)")
+    p_serve.add_argument("--circuit-threshold", type=int, default=5,
+                         help="consecutive batch failures that open the "
+                              "circuit breaker (default: 5)")
+    p_serve.add_argument("--circuit-reset", type=float, default=2.0,
+                         help="seconds before a half-open probe (default: 2)")
+    p_serve.add_argument("--no-degrade", action="store_true",
+                         help="disable the batch-of-1 poisoned-tile fallback")
+    p_serve.add_argument("--inject", metavar="SPEC", type=_fault_spec,
+                         help="deterministic fault injection, e.g. "
+                              "'kernel:every=7;slow:every=5,delay=0.05'")
+    p_serve.add_argument("--fault-seed", type=int, default=0)
+    p_serve.add_argument("--ttl", type=float, default=None,
+                         help="serve for TTL seconds then shut down cleanly "
+                              "(default: until Ctrl-C)")
+    p_serve.set_defaults(func=_cmd_serve)
+
     p_sweep = sub.add_parser("sweep", help="Figure-2 style sweep of the whole family")
     _add_device_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
@@ -252,7 +329,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ArtifactError, FileNotFoundError, IsADirectoryError,
+            PermissionError) as exc:
+        # Operational errors (missing/corrupt artifacts, unreadable
+        # inputs) are a one-liner for the operator, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

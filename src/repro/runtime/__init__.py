@@ -63,6 +63,11 @@ artifact from the shell.
 """
 
 from repro.runtime.artifact import load_artifact, read_manifest, save_artifact
+from repro.runtime.errors import (
+    ArtifactError,
+    ArtifactNotFoundError,
+    InvalidInputError,
+)
 from repro.runtime.options import CompileOptions, SessionOptions
 from repro.runtime.session import LayerTiming, Session, SessionProfile, pipeline
 
@@ -76,4 +81,7 @@ __all__ = [
     "save_artifact",
     "load_artifact",
     "read_manifest",
+    "ArtifactError",
+    "ArtifactNotFoundError",
+    "InvalidInputError",
 ]

@@ -18,11 +18,26 @@ rebuilds the network via
 :func:`~repro.inference.export.import_network`.  No reference to the
 originating :class:`~repro.inference.engine.IntegerNetwork` survives in
 the artifact; rehydration is bit-identical by construction and by test.
+
+Robustness contract (the serving tier builds on both halves):
+
+* **Atomic save** — :func:`save_artifact` stages the directory under a
+  hidden sibling name and swaps it into place with ``os.replace``-style
+  renames, so a crash mid-write leaves either the previous artifact or
+  nothing, never a half-written directory a loader could pick up.
+* **Typed load failures** — every corruption class (missing files,
+  truncated/bit-flipped blobs, CRC mismatches, bad manifests, failed
+  integrity passes) raises :class:`~repro.runtime.errors.ArtifactError`
+  (missing paths the :class:`~repro.runtime.errors.ArtifactNotFoundError`
+  refinement), never a raw traceback from ``json`` or ``numpy``.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import uuid
 import zlib
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -30,6 +45,7 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.inference.export import export_network, import_network, validate_export
+from repro.runtime.errors import ArtifactError, ArtifactNotFoundError
 from repro.runtime.options import CompileOptions, SessionOptions
 
 ARTIFACT_FORMAT = "repro/session-artifact"
@@ -102,17 +118,19 @@ def _internalize(node, blobs: bytes, table: Dict[str, Dict], path: Path):
             name = node["$blob"]
             meta = table.get(name)
             if meta is None:
-                raise ValueError(f"{path}: manifest references unknown blob {name!r}")
+                raise ArtifactError(
+                    f"{path}: manifest references unknown blob {name!r}"
+                )
             start, nbytes = int(meta["offset"]), int(meta["nbytes"])
             raw = blobs[start:start + nbytes]
             if len(raw) != nbytes:
-                raise ValueError(
+                raise ArtifactError(
                     f"{path}: blob {name!r} is truncated "
                     f"({len(raw)} of {nbytes} bytes present)"
                 )
             crc = zlib.crc32(raw)
             if crc != int(meta["crc32"]):
-                raise ValueError(
+                raise ArtifactError(
                     f"{path}: blob {name!r} checksum {crc:#010x} does not "
                     f"match the recorded CRC32 {int(meta['crc32']):#010x}"
                 )
@@ -153,31 +171,78 @@ def save_artifact(
     }
     manifest["blobs"] = writer.table
     out = Path(path)
-    out.mkdir(parents=True, exist_ok=True)
-    (out / BLOBS_NAME).write_bytes(writer.payload())
-    with open(out / MANIFEST_NAME, "w") as fh:
-        json.dump(manifest, fh, indent=2)
-        fh.write("\n")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    if out.exists() and not _replaceable(out):
+        raise ArtifactError(
+            f"{out} exists and is not a session artifact directory; "
+            f"refusing to overwrite it"
+        )
+    # Stage under a hidden sibling, fsync, then swap into place: a crash
+    # at any point leaves either the previous artifact or nothing — a
+    # loader can never observe a half-written directory.
+    stamp = f"{os.getpid():d}-{uuid.uuid4().hex[:8]}"
+    tmp = out.parent / f".{out.name}.tmp-{stamp}"
+    tmp.mkdir()
+    try:
+        _write_synced(tmp / BLOBS_NAME, writer.payload())
+        _write_synced(
+            tmp / MANIFEST_NAME,
+            (json.dumps(manifest, indent=2) + "\n").encode("ascii"),
+        )
+        if out.exists():
+            old = out.parent / f".{out.name}.old-{stamp}"
+            os.replace(out, old)
+            os.replace(tmp, out)
+            shutil.rmtree(old)
+        else:
+            os.replace(tmp, out)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
     return out
+
+
+def _replaceable(target: Path) -> bool:
+    """Whether an existing save target may be atomically swapped away:
+    only prior artifacts (manifest present) and empty directories — an
+    arbitrary populated directory is refused rather than clobbered."""
+    if not target.is_dir():
+        return False
+    entries = {p.name for p in target.iterdir()}
+    return not entries or MANIFEST_NAME in entries
+
+
+def _write_synced(path: Path, payload: bytes) -> None:
+    with open(path, "wb") as fh:
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
 
 
 def read_manifest(path: Union[str, Path]) -> Dict:
     """Parse and structurally check an artifact's manifest (no blobs)."""
     root = Path(path)
     manifest_path = root / MANIFEST_NAME
+    if not root.exists():
+        raise ArtifactNotFoundError(f"no session artifact at {root}")
     if not manifest_path.is_file():
-        raise FileNotFoundError(
+        raise ArtifactNotFoundError(
             f"{root} is not a session artifact (missing {MANIFEST_NAME})"
         )
-    with open(manifest_path) as fh:
-        manifest = json.load(fh)
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        raise ArtifactError(f"{manifest_path}: unreadable manifest: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise ArtifactError(f"{manifest_path}: manifest is not a JSON object")
     if manifest.get("format") != ARTIFACT_FORMAT:
-        raise ValueError(
+        raise ArtifactError(
             f"{manifest_path}: unrecognised artifact format "
             f"{manifest.get('format')!r} (expected {ARTIFACT_FORMAT!r})"
         )
     if int(manifest.get("version", 0)) > ARTIFACT_VERSION:
-        raise ValueError(
+        raise ArtifactError(
             f"{manifest_path}: artifact version {manifest.get('version')} is "
             f"newer than this runtime understands ({ARTIFACT_VERSION})"
         )
@@ -196,12 +261,25 @@ def load_artifact(path: Union[str, Path]):
     """
     root = Path(path)
     manifest = read_manifest(root)
-    blobs = (root / BLOBS_NAME).read_bytes()
-    exported = _internalize(
-        manifest["network"], blobs, manifest.get("blobs", {}), root
-    )
-    validate_export(exported)
-    network = import_network(exported)
-    compile_options = CompileOptions.from_dict(manifest.get("compile_options", {}))
-    session_options = SessionOptions.from_dict(manifest.get("session_options", {}))
+    blobs_path = root / BLOBS_NAME
+    if not blobs_path.is_file():
+        raise ArtifactNotFoundError(
+            f"{root} is a partially-written artifact (missing {BLOBS_NAME})"
+        )
+    blobs = blobs_path.read_bytes()
+    try:
+        exported = _internalize(
+            manifest["network"], blobs, manifest.get("blobs", {}), root
+        )
+        validate_export(exported)
+        network = import_network(exported)
+        compile_options = CompileOptions.from_dict(manifest.get("compile_options", {}))
+        session_options = SessionOptions.from_dict(manifest.get("session_options", {}))
+    except ArtifactError:
+        raise
+    except (ValueError, TypeError, KeyError) as exc:
+        # Manifest/blob contents that parse but cannot be rebuilt into a
+        # network (bad shapes, failed integrity pass, unknown options)
+        # are corruption too — surface them under the one typed error.
+        raise ArtifactError(f"{root}: corrupt artifact: {exc}") from exc
     return network, compile_options, session_options, manifest

@@ -1,0 +1,43 @@
+"""Typed error hierarchy for the :mod:`repro.runtime` front door.
+
+Serving callers need to tell *what* went wrong without parsing numpy
+tracebacks: a broken artifact on disk is an operational problem (page
+whoever deployed it), a bad input batch is a client problem (reject the
+request with a 400), and neither should surface as a raw ``ValueError``
+from deep inside a kernel.  The classes below are the boundary between
+those worlds.
+
+Both roots subclass :class:`ValueError` so historical call sites (and
+tests) that caught ``ValueError`` keep working; the missing-artifact
+case additionally subclasses :class:`FileNotFoundError` for the same
+reason.
+"""
+
+from __future__ import annotations
+
+
+class ArtifactError(ValueError):
+    """A session artifact on disk is unusable.
+
+    Raised by :func:`repro.runtime.artifact.load_artifact` (and hence
+    :meth:`repro.runtime.Session.load`) for every corruption class —
+    missing files, truncated or bit-flipped blobs, CRC mismatches,
+    unparseable manifests, unknown formats/versions, and export dicts
+    that fail the deployment-side integrity pass.  The message always
+    names the artifact path and the failing check.
+    """
+
+
+class ArtifactNotFoundError(ArtifactError, FileNotFoundError):
+    """The artifact directory (or one of its two files) does not exist."""
+
+
+class InvalidInputError(ValueError):
+    """An input batch was rejected at the ``Session.run`` boundary.
+
+    Raised before any kernel runs when a batch is not a real-valued
+    NCHW array the compiled plan can consume: wrong rank, wrong channel
+    count, non-numeric or complex dtype, non-finite values, or a
+    geometry the layer cascade collapses to nothing.  Client-side by
+    definition — the serving tier maps it to a 400, never a 500.
+    """

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.inference.plan import ExecutionPlan
 from repro.runtime.artifact import load_artifact, save_artifact
+from repro.runtime.errors import InvalidInputError
 from repro.runtime.options import CompileOptions, SessionOptions
 
 
@@ -119,10 +120,67 @@ class Session:
             batch_size=batch_size or self.options.batch_size,
         )
 
+    # -- input boundary ------------------------------------------------
+    def validate_input(self, x_real) -> np.ndarray:
+        """Check a batch at the serving boundary; returns it as an array.
+
+        Rejections raise :class:`~repro.runtime.errors.InvalidInputError`
+        (a client-side error by contract — the serving tier maps it to a
+        400) instead of letting numpy internals leak out of a kernel:
+        non-array payloads, non-real dtypes, wrong rank, wrong channel
+        count, NaN/Inf values, and geometries the layer cascade shrinks
+        below one pixel.  ``SessionOptions(validate=False)`` skips the
+        scan for trusted in-process callers.
+        """
+        try:
+            arr = np.asarray(x_real)
+        except Exception as exc:
+            raise InvalidInputError(f"input is not array-like: {exc}") from exc
+        if arr.dtype == object or not (
+            np.issubdtype(arr.dtype, np.floating)
+            or np.issubdtype(arr.dtype, np.integer)
+            or np.issubdtype(arr.dtype, np.bool_)
+        ):
+            raise InvalidInputError(
+                f"input dtype {arr.dtype} is not a real numeric type"
+            )
+        if arr.ndim != 4:
+            raise InvalidInputError(
+                f"input must be an NCHW batch (4 dims), got shape {arr.shape}"
+            )
+        plan = self._plan
+        if plan.layers:
+            expected = plan.layers[0].in_channels
+            if arr.shape[1] != expected:
+                raise InvalidInputError(
+                    f"input has {arr.shape[1]} channel(s), the compiled "
+                    f"network expects {expected}"
+                )
+            h, w = int(arr.shape[2]), int(arr.shape[3])
+            from repro.nn.functional import conv_output_size
+
+            for layer in plan.layers:
+                h = conv_output_size(h, layer.kh, layer.stride, layer.padding)
+                w = conv_output_size(w, layer.kw, layer.stride, layer.padding)
+                if h < 1 or w < 1:
+                    raise InvalidInputError(
+                        f"input geometry {arr.shape[2]}x{arr.shape[3]} "
+                        f"collapses below 1x1 at layer {layer.name!r}"
+                    )
+        if arr.size and np.issubdtype(arr.dtype, np.floating) \
+                and not np.isfinite(arr).all():
+            raise InvalidInputError("input contains non-finite values (NaN/Inf)")
+        return arr
+
+    def _checked(self, x_real) -> np.ndarray:
+        if self.options.validate is False:
+            return np.asarray(x_real)
+        return self.validate_input(x_real)
+
     # -- serving -------------------------------------------------------
     def run(self, x_real: np.ndarray) -> np.ndarray:
         """Single-shot inference: real NCHW batch -> real logits."""
-        return self._plan.run(x_real)
+        return self._plan.run(self._checked(x_real))
 
     def run_codes(self, x_codes: np.ndarray) -> np.ndarray:
         """Run the conv trunk on integer codes (boundary validation per
@@ -134,7 +192,7 @@ class Session:
         """Stream a sweep through the arena in ``batch_size`` tiles
         (default ``options.batch_size``)."""
         return self._plan.run_batched(
-            x_real, batch_size=batch_size or self.options.batch_size
+            self._checked(x_real), batch_size=batch_size or self.options.batch_size
         )
 
     def predict(self, x_real: np.ndarray,
@@ -161,6 +219,36 @@ class Session:
         return np.random.default_rng(rng_seed).uniform(
             0.0, 1.0, size=(int(batch_size), channels, hw[0], hw[1])
         )
+
+    def healthcheck(self, input_hw: Optional[Tuple[int, int]] = None) -> dict:
+        """End-to-end self-test: one synthetic image through the full
+        pipeline, logits checked for shape and finiteness.
+
+        Returns ``{"ok": bool, "latency_ms": float, "output_shape": ...,
+        "error": str|None}`` and never raises — the serving tier calls
+        this at startup (warming the arena in the same pass) and from
+        its health endpoint, where an exception would be a liveness bug.
+        """
+        t0 = time.perf_counter()
+        try:
+            x = self.synthetic_batch(1, input_hw=input_hw)
+            out = self.run(x)
+            shape, _ = self._plan.output_spec(x.shape[1:])
+            ok = out.shape == (1,) + shape and bool(np.isfinite(out).all())
+            error = None if ok else f"bad output: shape {out.shape}, finite=False"
+        except Exception as exc:  # liveness probe: report, never raise
+            return {
+                "ok": False,
+                "latency_ms": round((time.perf_counter() - t0) * 1e3, 3),
+                "output_shape": None,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        return {
+            "ok": ok,
+            "latency_ms": round((time.perf_counter() - t0) * 1e3, 3),
+            "output_shape": list(out.shape),
+            "error": error,
+        }
 
     def profile(self, x_real: Optional[np.ndarray] = None,
                 batch_size: Optional[int] = None, repeats: int = 3,

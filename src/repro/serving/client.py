@@ -1,0 +1,79 @@
+"""Minimal asyncio HTTP client for the serving tier.
+
+Used by the chaos suite and the load generator — no third-party HTTP
+stack exists in the container, and a hand-rolled client doubles as the
+place to send *deliberately broken* requests (raw bytes straight onto
+the socket) that a well-behaved library would refuse to emit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+
+async def raw_request(host: str, port: int, payload: bytes,
+                      timeout: float = 30.0) -> Tuple[int, dict, bytes]:
+    """Write ``payload`` verbatim, read one HTTP response.
+
+    Returns ``(status, headers, body)``.  ``payload`` carrying garbage
+    instead of HTTP is exactly what the malformed-input chaos tests
+    send.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(payload)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(-1), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        status = int(lines[0].split()[1])
+    except (IndexError, ValueError):
+        raise ConnectionError(f"unparseable response: {raw[:200]!r}") from None
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body
+
+
+def _encode(method: str, path: str, body: bytes) -> bytes:
+    return (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: repro\r\nContent-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1") + body
+
+
+async def request_json(host: str, port: int, method: str, path: str,
+                       payload: Optional[dict] = None,
+                       timeout: float = 30.0) -> Tuple[int, dict]:
+    """JSON request/response round trip; returns ``(status, body_dict)``."""
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    status, _, raw = await raw_request(
+        host, port, _encode(method, path, body), timeout
+    )
+    try:
+        decoded = json.loads(raw.decode("utf-8")) if raw else {}
+    except json.JSONDecodeError:
+        decoded = {"raw": raw.decode("latin-1")}
+    return status, decoded
+
+
+async def predict(host: str, port: int, image,
+                  deadline_ms: Optional[float] = None,
+                  timeout: float = 30.0) -> Tuple[int, dict]:
+    """One inference request.  ``image`` is a CHW array/nested list."""
+    payload = {"input": image.tolist() if hasattr(image, "tolist") else image}
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+    return await request_json(host, port, "POST", "/v1/predict", payload,
+                              timeout=timeout)

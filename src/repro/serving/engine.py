@@ -1,0 +1,122 @@
+"""Batch engine: the bridge from the asyncio front end to the
+synchronous, GIL-releasing inference stack.
+
+One ``BatchEngine`` owns one :class:`~repro.runtime.Session` (circuit
+breaking is therefore per model by construction), a single-thread
+executor the batches run on — the compiled plan's activation arena is
+not concurrency-safe, so one inference thread is the correctness
+contract, not a limitation — and the robustness machinery around it:
+
+* **retry with deterministic backoff** for transient faults,
+* a **hung-batch watchdog**: a batch exceeding ``batch_timeout_s`` is
+  abandoned and the executor thread *replaced*, so one wedged kernel
+  cannot take the tier down (the abandoned thread dies with its batch),
+* **fault injection hooks** that run inside the executor thread,
+  exactly where a real kernel would fail.
+
+The engine reports terminal failures as
+:class:`~repro.serving.errors.BatchExecutionError`; the server layered
+above decides what a terminal failure *means* (degrade, quarantine,
+circuit state) — the engine only executes and retries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+from typing import Optional
+
+import numpy as np
+
+from repro.serving.errors import (
+    BatchExecutionError,
+    HungBatchError,
+    InjectedFaultError,
+)
+from repro.serving.faults import FaultInjector
+from repro.serving.metrics import ServerStats
+from repro.serving.policies import CircuitBreaker, ServerOptions
+
+
+class BatchEngine:
+    """Executes engine-shaped tiles with retry, watchdog, and injection."""
+
+    def __init__(self, session, options: Optional[ServerOptions] = None,
+                 faults: Optional[FaultInjector] = None,
+                 stats: Optional[ServerStats] = None):
+        self.session = session
+        self.options = options or ServerOptions()
+        self.faults = faults
+        self.stats = stats or ServerStats()
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.options.circuit_threshold,
+            reset_after_s=self.options.circuit_reset_s,
+        )
+        self._executor = self._new_executor()
+        self._closed = False
+
+    @staticmethod
+    def _new_executor() -> concurrent.futures.ThreadPoolExecutor:
+        return concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-batch"
+        )
+
+    def _run_sync(self, xs: np.ndarray, poisoned: bool) -> np.ndarray:
+        """Executor-thread body: faults first (that is where a real
+        kernel would blow up), then the actual inference."""
+        if self.faults:
+            self.faults.apply_batch_faults()
+        if poisoned:
+            raise InjectedFaultError("poisoned request in batch")
+        return np.argmax(self.session.run(xs), axis=1)
+
+    async def _attempt(self, xs: np.ndarray, poisoned: bool) -> np.ndarray:
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._executor, self._run_sync, xs, poisoned)
+        try:
+            return await asyncio.wait_for(future, self.options.batch_timeout_s)
+        except asyncio.TimeoutError:
+            # The batch is wedged. Abandon the executor (its thread will
+            # die when the stuck call eventually returns or the process
+            # exits) and replace it so the next batch runs on a healthy
+            # thread. wait_for already cancelled `future` for us.
+            self.stats.hung_batches += 1
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = self._new_executor()
+            raise HungBatchError(
+                f"batch of {len(xs)} exceeded the "
+                f"{self.options.batch_timeout_s:.1f}s watchdog"
+            ) from None
+
+    async def run_batch(self, xs: np.ndarray,
+                        poisoned: bool = False) -> np.ndarray:
+        """Run one tile to per-image class predictions, retrying per the
+        policy; raises :class:`BatchExecutionError` when retries are
+        exhausted.  Does *not* touch the circuit breaker — the server
+        records outcomes after degradation has had its say.
+        """
+        if self._closed:
+            raise BatchExecutionError("engine is closed")
+        self.stats.observe_batch(len(xs))
+        delays = list(self.options.retry.delays())
+        last: Optional[BaseException] = None
+        for attempt in range(len(delays) + 1):
+            if attempt:
+                self.stats.retries += 1
+                await asyncio.sleep(delays[attempt - 1])
+            try:
+                return await self._attempt(xs, poisoned)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                last = exc
+        if isinstance(last, BatchExecutionError):
+            raise last
+        raise BatchExecutionError(
+            f"batch of {len(xs)} failed after {len(delays) + 1} attempt(s): "
+            f"{type(last).__name__}: {last}"
+        ) from last
+
+    async def close(self) -> None:
+        self._closed = True
+        self._executor.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,165 @@
+"""Robustness policies: retry/backoff, circuit breaking, server options.
+
+Everything here is deterministic and clock-injected so the chaos suite
+can step time by hand: retry delays are a fixed exponential series (no
+jitter — reproducibility beats thundering-herd avoidance at this
+scale), and the circuit breaker is a plain three-state machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterator
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic exponential backoff for transient batch faults.
+
+    ``attempts`` counts *retries* after the first try (0 = fail fast).
+    ``delays()`` yields the sleep before each retry:
+    ``base * factor**i`` capped at ``max_delay_s``.
+    """
+
+    attempts: int = 2
+    base_delay_s: float = 0.02
+    factor: float = 2.0
+    max_delay_s: float = 0.5
+
+    def __post_init__(self):
+        if self.attempts < 0:
+            raise ValueError(f"attempts must be >= 0, got {self.attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+
+    def delays(self) -> Iterator[float]:
+        for i in range(self.attempts):
+            yield min(self.base_delay_s * self.factor ** i, self.max_delay_s)
+
+
+class BreakerState(str, Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-model circuit breaker over consecutive terminal batch failures.
+
+    CLOSED → (``failure_threshold`` consecutive failures) → OPEN →
+    (``reset_after_s`` elapsed) → HALF_OPEN, which admits exactly one
+    probe batch: success closes the circuit, failure re-opens it and
+    restarts the reset clock.  While OPEN every request is shed at
+    admission with a 503 — the engine is never touched.
+    """
+
+    def __init__(self, failure_threshold: int = 5, reset_after_s: float = 2.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_after_s = float(reset_after_s)
+        self.clock = clock
+        self._failures = 0
+        self._state = BreakerState.CLOSED
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    @property
+    def state(self) -> BreakerState:
+        self._maybe_half_open()
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    def _maybe_half_open(self) -> None:
+        if (self._state is BreakerState.OPEN
+                and self.clock() - self._opened_at >= self.reset_after_s):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_inflight = False
+
+    def allow(self) -> bool:
+        """May a batch proceed right now?  HALF_OPEN admits exactly one
+        probe at a time; OPEN admits nothing."""
+        self._maybe_half_open()
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._state = BreakerState.CLOSED
+        self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if (self._state is BreakerState.HALF_OPEN
+                or self._failures >= self.failure_threshold):
+            self._state = BreakerState.OPEN
+            self._opened_at = self.clock()
+            self._probe_inflight = False
+
+
+@dataclass(frozen=True)
+class ServerOptions:
+    """Configuration of the serving front end (one frozen value object,
+    mirroring :class:`repro.runtime.options.SessionOptions`).
+
+    ``max_batch`` / ``max_wait_ms``
+        Micro-batcher tile size and partial-tile flush timeout.
+    ``queue_depth``
+        Bound on admitted-but-unanswered requests (pending + in batch);
+        beyond it requests are shed with a 503.
+    ``default_deadline_ms``
+        Per-request deadline when the client does not send one
+        (``deadline_ms`` in the request body overrides; 0 disables).
+    ``batch_timeout_s``
+        Hung-batch watchdog: a batch exceeding this wall time is
+        abandoned and the executor thread replaced.
+    ``retry``
+        :class:`RetryPolicy` for transient batch faults.
+    ``circuit_threshold`` / ``circuit_reset_s``
+        :class:`CircuitBreaker` parameters.
+    ``degrade``
+        On terminal batch failure, fall back to batch-of-1 to isolate
+        and quarantine the poisoning request instead of failing the
+        whole tile.
+    ``max_body_bytes``
+        Request-body size cap (oversized bodies are a 400, not an OOM).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8707
+    max_batch: int = 8
+    max_wait_ms: float = 5.0
+    queue_depth: int = 64
+    default_deadline_ms: float = 1000.0
+    batch_timeout_s: float = 30.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    circuit_threshold: int = 5
+    circuit_reset_s: float = 2.0
+    degrade: bool = True
+    max_body_bytes: int = 64 * 1024 * 1024
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.max_wait_ms < 0 or self.default_deadline_ms < 0:
+            raise ValueError("timeouts must be >= 0")
+        if self.batch_timeout_s <= 0:
+            raise ValueError("batch_timeout_s must be > 0")
+
+    def replace(self, **changes) -> "ServerOptions":
+        return dataclasses.replace(self, **changes)

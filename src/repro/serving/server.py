@@ -1,0 +1,452 @@
+"""Fault-tolerant asyncio serving front end over a :class:`Session`.
+
+One process, three moving parts:
+
+* **connection handlers** (one asyncio task per connection) parse a
+  minimal HTTP/1.1 request, validate the payload at the session
+  boundary, run admission control (circuit state, bounded queue), and
+  park a :class:`~repro.serving.batcher.Request` future;
+* the **batch loop** (one task) drives the
+  :class:`~repro.serving.batcher.MicroBatcher` — expire deadlines
+  *before* batching, flush on full-or-timeout, carry remainders — and
+  hands tiles to the :class:`~repro.serving.engine.BatchEngine`;
+* the **engine** executes on its single inference thread with retry and
+  a hung-batch watchdog.
+
+Failure policy (the README table restates this mapping):
+
+====================  =========================================  ======
+failure                policy                                    status
+====================  =========================================  ======
+malformed payload      reject at parse/validate, stay live        400
+deadline passed        drop before batching, never infer          504
+queue at depth         shed with ``Retry-After`` (backpressure)   503
+circuit open           shed until half-open probe succeeds        503
+transient batch fault  retry with deterministic backoff           —
+hung batch             watchdog abandons it, executor replaced    (retry)
+poisoned batch         re-run batch-of-1, quarantine poisoner     500*
+server shutdown        fail pending fast, close sockets           503
+====================  =========================================  ======
+
+(* only the poisoning request; innocents in the tile still get 200.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.errors import InvalidInputError
+from repro.serving.batcher import MicroBatcher, Request
+from repro.serving.engine import BatchEngine
+from repro.serving.errors import (
+    BatchExecutionError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    MalformedRequestError,
+    QueueFullError,
+    ServerClosingError,
+    ServingError,
+)
+from repro.serving.faults import FaultInjector
+from repro.serving.metrics import ServerStats
+from repro.serving.policies import BreakerState, ServerOptions
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+_MAX_HEADER_BYTES = 16 * 1024
+
+
+class ServingServer:
+    """The micro-batching HTTP front end; stdlib asyncio only.
+
+    Endpoints: ``POST /v1/predict`` (body ``{"input": CHW-nested-list,
+    "deadline_ms": float?}``), ``GET /healthz``, ``GET /stats``.
+    """
+
+    def __init__(self, session, options: Optional[ServerOptions] = None,
+                 faults: Optional[FaultInjector] = None):
+        self.session = session
+        self.options = options or ServerOptions()
+        self.faults = faults
+        self.stats = ServerStats()
+        self.engine = BatchEngine(session, self.options, faults=faults,
+                                  stats=self.stats)
+        self.batcher = MicroBatcher(self.options.max_batch,
+                                    self.options.max_wait_ms / 1e3)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop_task: Optional[asyncio.Task] = None
+        self._wakeup = asyncio.Event()
+        self._closing = False
+        self._inflight: List[Request] = []
+        self._startup_health: Optional[dict] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Warm the engine (one healthcheck inference plans the arena),
+        bind the socket, and start the batch loop.  Returns the bound
+        ``(host, port)`` — pass ``port=0`` for an ephemeral port."""
+        loop = asyncio.get_running_loop()
+        self._startup_health = await loop.run_in_executor(
+            None, self.session.healthcheck
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.options.host, self.options.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._loop_task = asyncio.create_task(self._batch_loop(),
+                                              name="repro-batch-loop")
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, fail everything pending
+        with a 503, stop the loop, release the inference thread."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._loop_task is not None:
+            self._loop_task.cancel()
+            try:
+                await self._loop_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for r in self.batcher.drain() + list(self._inflight):
+            if self._fail(r, ServerClosingError("server is shutting down")):
+                self.stats.shed_shutdown += 1
+        self._inflight = []
+        await self.engine.close()
+
+    async def serve_forever(self, ttl_s: Optional[float] = None) -> None:
+        """Serve until cancelled (or for ``ttl_s`` seconds), then stop
+        cleanly."""
+        try:
+            if ttl_s is None:
+                await asyncio.Event().wait()  # park until cancelled
+            else:
+                await asyncio.sleep(ttl_s)
+        finally:
+            await self.stop()
+
+    # -- request futures ----------------------------------------------
+    @staticmethod
+    def _fail(request: Request, exc: ServingError) -> bool:
+        if request.future is not None and not request.future.done():
+            request.future.set_exception(exc)
+            return True
+        return False
+
+    def _resolve(self, request: Request, prediction: int) -> None:
+        if request.future is not None and not request.future.done():
+            latency = time.monotonic() - request.enqueued_at
+            self.stats.completed += 1
+            self.stats.latency.observe(latency)
+            request.future.set_result({
+                "prediction": int(prediction),
+                "latency_ms": round(latency * 1e3, 3),
+            })
+
+    def _fail_expired(self, expired: List[Request]) -> None:
+        for r in expired:
+            if self._fail(r, DeadlineExceededError(
+                    "deadline passed while waiting for a batch slot")):
+                self.stats.deadline_dropped += 1
+
+    # -- batch loop ----------------------------------------------------
+    async def _batch_loop(self) -> None:
+        while True:
+            # Clear *before* inspecting the batcher: an add() racing with
+            # this iteration either lands before take() (and is seen) or
+            # after the clear (and re-sets the event, waking us at once).
+            self._wakeup.clear()
+            now = time.monotonic()
+            batch, expired = self.batcher.take(now)
+            self._fail_expired(expired)
+            if not batch:
+                delay = self.batcher.next_flush_in(now)
+                try:
+                    await asyncio.wait_for(self._wakeup.wait(), timeout=delay)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            self._inflight = batch
+            try:
+                await self._process_batch(batch)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # defence: the loop must not die
+                for r in batch:
+                    self._fail(r, BatchExecutionError(
+                        f"unexpected serving failure: {type(exc).__name__}: {exc}"
+                    ))
+                    self.stats.failed += 1
+            finally:
+                self._inflight = []
+
+    def _record_breaker(self, success: bool) -> None:
+        breaker = self.engine.breaker
+        before = breaker.state
+        breaker.record_success() if success else breaker.record_failure()
+        if breaker.state is BreakerState.OPEN and before is not BreakerState.OPEN:
+            self.stats.breaker_opens += 1
+
+    async def _process_batch(self, batch: List[Request]) -> None:
+        if not self.engine.breaker.allow():
+            for r in batch:
+                if self._fail(r, CircuitOpenError("circuit opened while queued")):
+                    self.stats.shed_circuit += 1
+            return
+        xs = np.stack([r.x for r in batch])
+        try:
+            preds = await self.engine.run_batch(
+                xs, poisoned=any(r.poisoned for r in batch)
+            )
+        except BatchExecutionError as exc:
+            await self._degrade(batch, exc)
+            return
+        self._record_breaker(success=True)
+        for r, p in zip(batch, preds):
+            self._resolve(r, p)
+
+    async def _degrade(self, batch: List[Request],
+                       exc: BatchExecutionError) -> None:
+        """A tile failed terminally.  Fall back to batch-of-1 to isolate
+        the poisoning request(s): innocents still get answers, poisoners
+        are quarantined with a 500, and the breaker only counts the tile
+        as a failure if *nothing* in it could be served."""
+        if not self.options.degrade or len(batch) == 1:
+            for r in batch:
+                if self._fail(r, exc):
+                    self.stats.failed += 1
+            self._record_breaker(success=False)
+            return
+        self.stats.degraded_batches += 1
+        successes = 0
+        for r in batch:
+            if r.expired(time.monotonic()):
+                self._fail_expired([r])
+                continue
+            try:
+                preds = await self.engine.run_batch(r.x[None],
+                                                    poisoned=r.poisoned)
+            except BatchExecutionError as single_exc:
+                if self._fail(r, BatchExecutionError(
+                        f"request quarantined as batch poisoner: {single_exc}")):
+                    self.stats.quarantined += 1
+                continue
+            self._resolve(r, preds[0])
+            successes += 1
+        self._record_breaker(success=successes > 0)
+
+    # -- HTTP ----------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload, headers = await self._handle_request(reader)
+            await self._write_response(writer, status, payload, headers)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _handle_request(self, reader: asyncio.StreamReader):
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) != 3:
+                raise MalformedRequestError("malformed request line")
+            method, path, _ = parts
+            content_length = 0
+            header_bytes = 0
+            while True:
+                line = await reader.readline()
+                header_bytes += len(line)
+                if header_bytes > _MAX_HEADER_BYTES:
+                    raise MalformedRequestError("headers too large")
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        raise MalformedRequestError("bad Content-Length") from None
+            if content_length > self.options.max_body_bytes:
+                raise MalformedRequestError(
+                    f"body of {content_length} bytes exceeds the "
+                    f"{self.options.max_body_bytes}-byte cap"
+                )
+            body = await reader.readexactly(content_length) if content_length else b""
+        except MalformedRequestError as exc:
+            self.stats.malformed += 1
+            return exc.status, exc.payload(), {}
+        return await self._route(method, path, body)
+
+    async def _route(self, method: str, path: str, body: bytes):
+        if path == "/v1/predict":
+            if method != "POST":
+                return 405, {"error": "MethodNotAllowed",
+                             "detail": "use POST /v1/predict"}, {}
+            return await self._predict(body)
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "MethodNotAllowed"}, {}
+            return self._healthz()
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "MethodNotAllowed"}, {}
+            return 200, self._stats_payload(), {}
+        return 404, {"error": "NotFound", "detail": f"no route {path}"}, {}
+
+    def _healthz(self):
+        breaker = self.engine.breaker.state
+        startup = self._startup_health or {}
+        ok = (not self._closing and breaker is not BreakerState.OPEN
+              and bool(startup.get("ok")))
+        payload = {
+            "status": "ok" if ok else "degraded",
+            "circuit": breaker.value,
+            "queued": len(self.batcher),
+            "startup": startup,
+        }
+        return (200 if ok else 503), payload, {}
+
+    def _stats_payload(self) -> dict:
+        payload = self.stats.to_dict()
+        payload["circuit"] = self.engine.breaker.state.value
+        payload["queued"] = len(self.batcher)
+        if self.faults:
+            payload["faults"] = self.faults.summary()
+        return payload
+
+    async def _predict(self, body: bytes):
+        try:
+            request = self._admit(body)
+        except ServingError as exc:
+            headers = {}
+            if isinstance(exc, (QueueFullError, CircuitOpenError,
+                                ServerClosingError)):
+                headers["Retry-After"] = "1"
+            return exc.status, exc.payload(), headers
+        self._wakeup.set()
+        try:
+            result = await request.future
+        except ServingError as exc:
+            headers = {"Retry-After": "1"} if exc.status == 503 else {}
+            return exc.status, exc.payload(), headers
+        return 200, result, {}
+
+    def _admit(self, body: bytes) -> Request:
+        """Parse + validate + admission-control one predict request.
+        Raises a typed ServingError; on success the request is queued."""
+        if self._closing:
+            raise ServerClosingError("server is shutting down")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.stats.malformed += 1
+            raise MalformedRequestError(f"body is not JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "input" not in payload:
+            self.stats.malformed += 1
+            raise MalformedRequestError('body must be {"input": CHW-array}')
+        try:
+            x = np.asarray(payload["input"], dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            self.stats.malformed += 1
+            raise MalformedRequestError(f"input is not numeric: {exc}") from exc
+        if x.ndim != 3:
+            self.stats.malformed += 1
+            raise MalformedRequestError(
+                f"input must be one CHW image (3 dims), got shape {x.shape}"
+            )
+        try:
+            self.session.validate_input(x[None])
+        except InvalidInputError as exc:
+            self.stats.malformed += 1
+            raise MalformedRequestError(str(exc)) from exc
+
+        if self.engine.breaker.state is BreakerState.OPEN:
+            self.stats.shed_circuit += 1
+            raise CircuitOpenError("circuit is open; retry later")
+        depth = len(self.batcher) + len(self._inflight)
+        overflow = self.faults.fire("queue-overflow") if self.faults else None
+        if depth >= self.options.queue_depth or overflow is not None:
+            self.stats.shed_queue += 1
+            raise QueueFullError(
+                f"admission queue at depth {depth}/{self.options.queue_depth}"
+            )
+
+        now = time.monotonic()
+        deadline_ms = payload.get("deadline_ms", self.options.default_deadline_ms)
+        try:
+            deadline_ms = float(deadline_ms)
+        except (TypeError, ValueError):
+            self.stats.malformed += 1
+            raise MalformedRequestError(
+                f"deadline_ms must be a number, got {deadline_ms!r}"
+            ) from None
+        deadline = now + deadline_ms / 1e3 if deadline_ms > 0 else None
+        request = Request(
+            x=x, enqueued_at=now, deadline=deadline,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        if self.faults and self.faults.fire("poison") is not None:
+            request.poisoned = True
+        self.batcher.add(request)
+        return request
+
+    @staticmethod
+    async def _write_response(writer: asyncio.StreamWriter, status: int,
+                              payload: dict, headers: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        lines += [f"{k}: {v}" for k, v in headers.items()]
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+
+def serve(session, options: Optional[ServerOptions] = None,
+          faults: Optional[FaultInjector] = None,
+          ttl_s: Optional[float] = None,
+          announce=print) -> None:
+    """Blocking convenience entry point (the ``repro-mcu serve`` body):
+    start, announce the bound address, serve until Ctrl-C or ``ttl_s``,
+    shut down cleanly."""
+
+    async def _main():
+        server = ServingServer(session, options=options, faults=faults)
+        host, port = await server.start()
+        if announce is not None:
+            announce(f"serving on http://{host}:{port} "
+                     f"(max_batch={server.options.max_batch}, "
+                     f"queue_depth={server.options.queue_depth}) — Ctrl-C to stop")
+        try:
+            await server.serve_forever(ttl_s=ttl_s)
+        except asyncio.CancelledError:
+            await server.stop()
+            raise
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        if announce is not None:
+            announce("interrupted — shut down cleanly")

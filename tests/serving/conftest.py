@@ -1,0 +1,23 @@
+"""Shared serving-tier fixtures: one tiny compiled session per test
+session (32x32, width 0.25 — milliseconds per batch) plus a canonical
+valid image."""
+
+import numpy as np
+import pytest
+
+from repro.inference.testing import integer_network_from_spec
+from repro.models.model_zoo import mobilenet_v1_spec
+from repro.runtime import Session, SessionOptions
+
+SPEC = mobilenet_v1_spec(32, 0.25, num_classes=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_session():
+    net = integer_network_from_spec(SPEC, np.random.default_rng(3))
+    return Session(net, options=SessionOptions(input_hw=(32, 32)))
+
+
+@pytest.fixture(scope="session")
+def image():
+    return np.random.default_rng(4).uniform(0.0, 1.0, size=(3, 32, 32))

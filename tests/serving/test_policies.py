@@ -1,0 +1,110 @@
+"""Retry/backoff determinism and the circuit-breaker state machine."""
+
+import pytest
+
+from repro.serving.policies import (
+    BreakerState,
+    CircuitBreaker,
+    RetryPolicy,
+    ServerOptions,
+)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestRetryPolicy:
+    def test_delays_are_exponential_and_capped(self):
+        p = RetryPolicy(attempts=5, base_delay_s=0.1, factor=2.0, max_delay_s=0.5)
+        assert list(p.delays()) == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_zero_attempts_fails_fast(self):
+        assert list(RetryPolicy(attempts=0).delays()) == []
+
+    def test_deterministic_no_jitter(self):
+        p = RetryPolicy(attempts=3)
+        assert list(p.delays()) == list(p.delays())
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=3, reset_after_s=1.0, clock=clock)
+        for _ in range(2):
+            b.record_failure()
+        assert b.state is BreakerState.CLOSED and b.allow()
+        b.record_failure()
+        assert b.state is BreakerState.OPEN and not b.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        b = CircuitBreaker(failure_threshold=2)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state is BreakerState.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=1, reset_after_s=1.0, clock=clock)
+        b.record_failure()
+        assert not b.allow()
+        clock.advance(1.0)
+        assert b.state is BreakerState.HALF_OPEN
+        assert b.allow()       # the probe
+        assert not b.allow()   # no second concurrent probe
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=1, reset_after_s=1.0, clock=clock)
+        b.record_failure()
+        clock.advance(1.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state is BreakerState.CLOSED and b.allow()
+
+    def test_probe_failure_reopens_and_restarts_the_clock(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=5, reset_after_s=1.0, clock=clock)
+        for _ in range(5):
+            b.record_failure()
+        clock.advance(1.0)
+        assert b.allow()
+        b.record_failure()  # half-open probe fails -> OPEN immediately
+        assert b.state is BreakerState.OPEN and not b.allow()
+        clock.advance(0.5)
+        assert not b.allow()  # reset clock restarted at the probe failure
+        clock.advance(0.5)
+        assert b.allow()
+
+
+class TestServerOptions:
+    def test_defaults_are_valid(self):
+        ServerOptions()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch": 0},
+        {"queue_depth": 0},
+        {"max_wait_ms": -1},
+        {"default_deadline_ms": -1},
+        {"batch_timeout_s": 0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServerOptions(**kwargs)
+
+    def test_replace(self):
+        assert ServerOptions().replace(max_batch=2).max_batch == 2

@@ -1,0 +1,301 @@
+"""Chaos suite: the server under every injected fault class.
+
+Each scenario boots a real server on an ephemeral port, injects one
+fault class at a deterministic rate, talks to it over real sockets, and
+asserts three things: the server stays live, every request is answered
+*per policy* (the status table in ``repro/serving/server.py``), and
+shutdown is clean.  No mocking below the HTTP surface — the batcher,
+engine, executor thread, watchdog and breaker all run for real.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    ServerOptions,
+    ServingServer,
+    predict,
+    raw_request,
+    request_json,
+)
+from repro.serving.policies import BreakerState
+
+BASE = ServerOptions(
+    port=0,
+    max_batch=4,
+    max_wait_ms=5.0,
+    retry=RetryPolicy(attempts=2, base_delay_s=0.01, max_delay_s=0.05),
+    circuit_reset_s=0.3,
+)
+
+
+def run_scenario(tiny_session, options, faults, scenario):
+    """Boot server -> run the async scenario -> clean stop, in one loop."""
+
+    async def _main():
+        server = ServingServer(tiny_session, options, faults=faults)
+        host, port = await server.start()
+        try:
+            await scenario(server, host, port)
+        finally:
+            await server.stop()
+        # Clean shutdown: nothing pending, engine refuses further work.
+        assert len(server.batcher) == 0
+        with pytest.raises(Exception):
+            await server.engine.run_batch(np.zeros((1, 3, 32, 32)))
+
+    asyncio.run(_main())
+
+
+async def alive(host, port, image):
+    """The liveness probe every scenario ends with: a normal request
+    still gets a normal answer."""
+    status, body = await predict(host, port, image)
+    assert status == 200 and "prediction" in body
+
+
+class TestHappyPath:
+    def test_concurrent_requests_are_microbatched(self, tiny_session, image):
+        async def scenario(server, host, port):
+            results = await asyncio.gather(
+                *[predict(host, port, image) for _ in range(10)]
+            )
+            assert [s for s, _ in results] == [200] * 10
+            # Tiling happened: fewer batches than requests.
+            assert 1 <= server.stats.batches < 10
+            assert server.stats.batched_images == 10
+            st, stats = await request_json(host, port, "GET", "/stats")
+            assert st == 200 and stats["requests"]["completed"] == 10
+
+        run_scenario(tiny_session, BASE, None, scenario)
+
+    def test_healthz_reports_ok(self, tiny_session, image):
+        async def scenario(server, host, port):
+            st, body = await request_json(host, port, "GET", "/healthz")
+            assert st == 200 and body["status"] == "ok"
+            assert body["startup"]["ok"] is True
+
+        run_scenario(tiny_session, BASE, None, scenario)
+
+
+class TestKernelFaults:
+    def test_transient_kernel_fault_is_retried_away(self, tiny_session, image):
+        async def scenario(server, host, port):
+            status, body = await predict(host, port, image)
+            assert status == 200
+            assert server.stats.retries >= 1
+            await alive(host, port, image)
+
+        run_scenario(
+            tiny_session, BASE,
+            FaultInjector([FaultSpec("kernel", every=1, limit=1)]), scenario,
+        )
+
+    def test_persistent_failures_open_the_circuit_then_recover(
+            self, tiny_session, image):
+        options = BASE.replace(
+            max_batch=2, circuit_threshold=2, degrade=False,
+            retry=RetryPolicy(attempts=0),
+        )
+        # Fails the first 2 batches (opening the circuit), then heals.
+        faults = FaultInjector([FaultSpec("kernel", every=1, limit=2)])
+
+        async def scenario(server, host, port):
+            results = await asyncio.gather(
+                *[predict(host, port, image, deadline_ms=0) for _ in range(8)]
+            )
+            statuses = [s for s, _ in results]
+            assert statuses.count(500) >= 2          # failed batches
+            assert server.stats.breaker_opens == 1
+            # While open: shed at admission with Retry-After, healthz degraded.
+            if server.engine.breaker.state is BreakerState.OPEN:
+                status, body = await predict(host, port, image)
+                assert status == 503 and body["error"] == "CircuitOpenError"
+                st, health = await request_json(host, port, "GET", "/healthz")
+                assert st == 503 and health["status"] == "degraded"
+            # After the reset window the half-open probe succeeds and
+            # the tier recovers on its own.
+            await asyncio.sleep(options.circuit_reset_s + 0.05)
+            status, _ = await predict(host, port, image)
+            assert status == 200
+            assert server.engine.breaker.state is BreakerState.CLOSED
+
+        run_scenario(tiny_session, options, faults, scenario)
+
+
+class TestPoisonedBatch:
+    def test_degradation_quarantines_only_the_poisoner(self, tiny_session, image):
+        options = BASE.replace(max_wait_ms=30.0,
+                               retry=RetryPolicy(attempts=1, base_delay_s=0.01))
+        faults = FaultInjector([FaultSpec("poison", every=4)])  # 4th admit
+
+        async def scenario(server, host, port):
+            results = await asyncio.gather(
+                *[predict(host, port, image, deadline_ms=0) for _ in range(4)]
+            )
+            statuses = sorted(s for s, _ in results)
+            assert statuses == [200, 200, 200, 500]
+            assert server.stats.degraded_batches == 1
+            assert server.stats.quarantined == 1
+            # The tile failure did not open the circuit: innocents served.
+            assert server.engine.breaker.state is BreakerState.CLOSED
+            await alive(host, port, image)
+
+        run_scenario(tiny_session, options, faults, scenario)
+
+    def test_without_degradation_the_whole_tile_fails(self, tiny_session, image):
+        options = BASE.replace(max_wait_ms=30.0, degrade=False,
+                               retry=RetryPolicy(attempts=0))
+        faults = FaultInjector([FaultSpec("poison", every=4)])
+
+        async def scenario(server, host, port):
+            results = await asyncio.gather(
+                *[predict(host, port, image, deadline_ms=0) for _ in range(4)]
+            )
+            assert [s for s, _ in results] == [500] * 4
+            await alive(host, port, image)
+
+        run_scenario(tiny_session, options, faults, scenario)
+
+
+class TestHungBatch:
+    def test_watchdog_abandons_the_batch_and_replaces_the_executor(
+            self, tiny_session, image):
+        options = BASE.replace(batch_timeout_s=0.25,
+                               retry=RetryPolicy(attempts=1, base_delay_s=0.01))
+        faults = FaultInjector([FaultSpec("hang", every=1, limit=1, delay=10.0)])
+
+        async def scenario(server, host, port):
+            status, _ = await predict(host, port, image, deadline_ms=0)
+            assert status == 200                      # retry on fresh thread
+            assert server.stats.hung_batches == 1
+            await alive(host, port, image)
+
+        run_scenario(tiny_session, options, faults, scenario)
+
+
+class TestMalformedPayloads:
+    @pytest.mark.parametrize("payload", [
+        {"input": [[1.0, 2.0], [3.0, 4.0]]},              # wrong rank
+        {"input": [[["x"] * 32] * 32] * 3},               # non-numeric
+        {"wrong_key": 1},                                 # missing input
+        {"input": [[[float("nan")] * 32] * 32] * 3},      # non-finite
+    ])
+    def test_bad_json_payloads_get_400(self, tiny_session, image, payload):
+        async def scenario(server, host, port):
+            status, body = await request_json(
+                host, port, "POST", "/v1/predict", payload
+            )
+            assert status == 400
+            assert body["error"] in ("MalformedRequestError",)
+            assert server.stats.malformed >= 1
+            await alive(host, port, image)
+
+        run_scenario(tiny_session, BASE, None, scenario)
+
+    def test_non_json_body_and_garbage_http(self, tiny_session, image):
+        async def scenario(server, host, port):
+            status, _, _ = await raw_request(
+                host, port,
+                b"POST /v1/predict HTTP/1.1\r\nContent-Length: 7\r\n\r\nnotjson",
+            )
+            assert status == 400
+            status, _, _ = await raw_request(host, port, b"complete garbage\r\n")
+            assert status == 400
+            status, body = await predict(host, port, image,
+                                         deadline_ms="not-a-number")
+            assert status == 400
+            await alive(host, port, image)
+
+        run_scenario(tiny_session, BASE, None, scenario)
+
+    def test_unknown_route_and_method(self, tiny_session):
+        async def scenario(server, host, port):
+            status, _ = await request_json(host, port, "GET", "/nope")
+            assert status == 404
+            status, _ = await request_json(host, port, "GET", "/v1/predict")
+            assert status == 405
+
+        run_scenario(tiny_session, BASE, None, scenario)
+
+
+class TestBackpressure:
+    def test_queue_overflow_sheds_with_503(self, tiny_session, image):
+        options = BASE.replace(max_batch=2, queue_depth=3)
+        faults = FaultInjector([FaultSpec("slow", every=1, limit=2, delay=0.1)])
+
+        async def scenario(server, host, port):
+            results = await asyncio.gather(
+                *[predict(host, port, image) for _ in range(12)]
+            )
+            statuses = [s for s, _ in results]
+            assert statuses.count(503) >= 1
+            assert statuses.count(200) >= 1
+            assert server.stats.shed_queue >= 1
+            shed = next(b for s, b in results if s == 503)
+            assert shed["error"] == "QueueFullError"
+            await alive(host, port, image)
+
+        run_scenario(tiny_session, options, faults, scenario)
+
+    def test_injected_queue_overflow_sheds_deterministically(
+            self, tiny_session, image):
+        faults = FaultInjector([FaultSpec("queue-overflow", every=3)])
+
+        async def scenario(server, host, port):
+            statuses = []
+            for _ in range(6):
+                status, _ = await predict(host, port, image)
+                statuses.append(status)
+            assert statuses == [200, 200, 503, 200, 200, 503]
+
+        run_scenario(tiny_session, BASE, faults, scenario)
+
+
+class TestDeadlines:
+    def test_expired_requests_dropped_before_the_engine(self, tiny_session, image):
+        # Batch 1 is slow; everything queued behind it expires and must
+        # be answered 504 without ever being batched.
+        options = BASE.replace(max_batch=1, max_wait_ms=0.0)
+        faults = FaultInjector([FaultSpec("slow", every=1, limit=1, delay=0.2)])
+
+        async def scenario(server, host, port):
+            results = await asyncio.gather(
+                *[predict(host, port, image, deadline_ms=80) for _ in range(6)]
+            )
+            statuses = [s for s, _ in results]
+            assert statuses.count(504) >= 1
+            assert server.stats.deadline_dropped == statuses.count(504)
+            # Engine only saw what was served, never the dropped ones.
+            assert server.stats.batched_images == statuses.count(200)
+            await alive(host, port, image)
+
+        run_scenario(tiny_session, options, faults, scenario)
+
+
+class TestShutdown:
+    def test_pending_requests_fail_fast_on_stop(self, tiny_session, image):
+        options = BASE.replace(max_batch=1, max_wait_ms=0.0)
+        faults = FaultInjector([FaultSpec("slow", every=1, limit=1, delay=0.3)])
+
+        async def scenario():
+            server = ServingServer(tiny_session, options, faults=faults)
+            host, port = await server.start()
+            tasks = [asyncio.create_task(predict(host, port, image, deadline_ms=0))
+                     for _ in range(5)]
+            await asyncio.sleep(0.1)  # first batch is in the slow engine
+            await server.stop()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            statuses = [r[0] for r in results if isinstance(r, tuple)]
+            assert statuses and all(s in (200, 503) for s in statuses)
+            assert server.stats.shed_shutdown >= 1
+            # Stopped server refuses connections.
+            with pytest.raises(OSError):
+                await predict(host, port, image, timeout=1.0)
+
+        asyncio.run(scenario())

@@ -130,3 +130,66 @@ class TestRunCommand:
         np.save(tmp_path / "bad.npy", np.zeros((3, 32, 32)))
         rc = cli.main(["run", str(artifact), "--input", str(tmp_path / "bad.npy")])
         assert rc == 2
+
+
+class TestArtifactErrorReporting:
+    """Satellite contract: missing/corrupt artifacts exit nonzero with a
+    one-line ``error:`` message, never a traceback."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-err") / "model.artifact"
+        rc = cli.main(["deploy", "--resolution", "128", "--width", "0.25",
+                       "--save-artifact", str(path)])
+        assert rc == 0
+        return path
+
+    def _assert_one_line_error(self, capsys, rc):
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1 and "Traceback" not in err
+
+    def test_run_missing_artifact(self, capsys):
+        rc = cli.main(["run", "/nonexistent/model.artifact"])
+        self._assert_one_line_error(capsys, rc)
+
+    def test_serve_missing_artifact(self, capsys):
+        rc = cli.main(["serve", "/nonexistent/model.artifact"])
+        self._assert_one_line_error(capsys, rc)
+
+    def test_run_corrupt_artifact(self, artifact, tmp_path, capsys):
+        from repro.serving.faults import corrupt_artifact
+
+        bad = corrupt_artifact(artifact, tmp_path / "bad.artifact")
+        rc = cli.main(["run", str(bad)])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.startswith("error: ") and "CRC32" in err
+        assert "Traceback" not in err
+
+    def test_run_partial_artifact(self, artifact, tmp_path, capsys):
+        import shutil
+
+        partial = tmp_path / "partial.artifact"
+        shutil.copytree(artifact, partial)
+        (partial / "blobs.bin").unlink()
+        rc = cli.main(["run", str(partial)])
+        self._assert_one_line_error(capsys, rc)
+
+    def test_serve_rejects_bad_fault_spec(self, artifact, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["serve", str(artifact), "--inject", "gremlins:every=1"])
+
+
+class TestServeCommand:
+    def test_serve_ttl_boots_and_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "model.artifact"
+        assert cli.main(["deploy", "--resolution", "128", "--width", "0.25",
+                         "--save-artifact", str(path)]) == 0
+        capsys.readouterr()
+        rc = cli.main(["serve", str(path), "--port", "0", "--ttl", "0.2",
+                       "--inject", "kernel:every=100"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "serving on" in out
