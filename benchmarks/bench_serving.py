@@ -16,6 +16,13 @@ Each scenario runs twice — clean, and under a deterministic fault mix
 (transient kernel faults + slow batches) — so the report quantifies what
 the robustness layer (retry, degradation, shedding) costs in p50/p99.
 
+A third section sweeps the **workers axis**: the same closed-loop drive
+against a pooled server (``serve --workers N`` equivalent, artifact
+mmap-shared across worker processes) for each requested pool width.
+Throughput is *recorded*, never *gated* — CI runners are often 1-2
+cores, where extra workers cannot speed anything up; the report carries
+``cpu_count`` so readers can judge the numbers in context.
+
 Run as a script (CI smoke lane)::
 
     python benchmarks/bench_serving.py --quick
@@ -28,7 +35,9 @@ dirty.
 import argparse
 import asyncio
 import json
+import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -159,15 +168,60 @@ async def _run_profile(session, faults_spec, quick):
     return out
 
 
-def run_bench(quick: bool, output: Path) -> int:
+async def _run_workers_point(session, artifact_path, workers, quick):
+    """Closed-loop drive against a pooled server of the given width."""
+    options = ServerOptions(
+        port=0, max_batch=8, max_wait_ms=2.0, queue_depth=256,
+        default_deadline_ms=0.0,
+        retry=RetryPolicy(attempts=2, base_delay_s=0.005),
+        workers=workers,
+    )
+    server = ServingServer(session, options, artifact_path=artifact_path)
+    host, port = await server.start()
+    image = _image()
+    try:
+        clients = 4 if quick else 16
+        per_client = 8 if quick else 32
+        lat, statuses, wall = await _closed_loop(
+            host, port, image, clients, per_client, deadline_ms=0)
+        point = dict(_tally(lat, statuses, wall),
+                     workers=workers, clients=clients)
+        if server.engine.pool is not None:
+            pool_stats = server.engine.pool.stats()
+            point["pool"] = {
+                key: pool_stats[key]
+                for key in ("alive", "restarts", "kills", "served",
+                            "stolen", "inline_fallbacks", "mmap_weights")
+            }
+        point["pending_at_stop"] = len(server.batcher)
+    finally:
+        await server.stop()
+    return point
+
+
+def _run_workers_axis(session, workers_list, quick):
+    """Sweep pool widths over the same artifact (mmap-shared weights)."""
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as tmp:
+        artifact = Path(tmp) / "bench.artifact"
+        session.save(artifact)
+        points = []
+        for workers in workers_list:
+            points.append(asyncio.run(
+                _run_workers_point(session, artifact, workers, quick)))
+    return points
+
+
+def run_bench(quick: bool, output: Path, workers_list) -> int:
     session = _make_session()
     report = {
         "bench": "serving",
         "model": f"mobilenet_v1_{RESOLUTION}_{WIDTH}",
         "mode": "quick" if quick else "full",
+        "cpu_count": os.cpu_count(),
         "fault_mix": FAULT_MIX,
         "clean": asyncio.run(_run_profile(session, None, quick)),
         "faulted": asyncio.run(_run_profile(session, FAULT_MIX, quick)),
+        "workers_axis": _run_workers_axis(session, workers_list, quick),
     }
 
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -189,6 +243,18 @@ def run_bench(quick: bool, output: Path) -> int:
         failures.append("faulted: fault mix never fired")
     if faulted["server_stats"]["batches"]["retries"] < 1:
         failures.append("faulted: kernel faults never exercised retry")
+    # Workers axis is correctness-gated only (every request served, clean
+    # shutdown, all workers alive).  Deliberately NO speedup gate: on a
+    # 1-2 core runner extra workers add IPC cost and cannot pay it back.
+    for point in report["workers_axis"]:
+        w = point["workers"]
+        if int(point["status_counts"].get("200", 0)) != point["requests"]:
+            failures.append(f"workers={w}: not every request served")
+        if point["pending_at_stop"]:
+            failures.append(f"workers={w}: dirty shutdown")
+        pool = point.get("pool")
+        if pool is not None and pool["alive"] != w:
+            failures.append(f"workers={w}: only {pool['alive']} workers alive")
 
     for label in ("clean", "faulted"):
         c = report[label]["closed_loop"]
@@ -198,6 +264,10 @@ def run_bench(quick: bool, output: Path) -> int:
             print(f"{label:>8}  open@{point['offered_qps']:<4}    "
                   f"{point['achieved_qps']:>7} qps   "
                   f"p50 {point['p50_ms']:>7} ms   p99 {point['p99_ms']:>7} ms")
+    for point in report["workers_axis"]:
+        print(f" workers={point['workers']:<2} closed-loop  "
+              f"{point['achieved_qps']:>7} qps   "
+              f"p50 {point['p50_ms']:>7} ms   p99 {point['p99_ms']:>7} ms")
 
     if failures:
         for f in failures:
@@ -213,8 +283,15 @@ def main(argv=None) -> int:
                         help="reduced sweep for the CI smoke lane")
     parser.add_argument("--output", type=Path,
                         default=RESULTS_DIR / "BENCH_serving.json")
+    parser.add_argument("--workers", type=str, default=None,
+                        help="CSV of pool widths for the workers axis "
+                             "(default: 1,2 quick / 1,2,4 full)")
     args = parser.parse_args(argv)
-    return run_bench(args.quick, args.output)
+    if args.workers:
+        workers_list = [int(w) for w in args.workers.split(",") if w.strip()]
+    else:
+        workers_list = [1, 2] if args.quick else [1, 2, 4]
+    return run_bench(args.quick, args.output, workers_list)
 
 
 if __name__ == "__main__":

@@ -141,6 +141,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     faults = None
     if args.inject:
         faults = FaultInjector.parse(args.inject, seed=args.fault_seed)
+    # --workers falls back to the workers count baked into the artifact's
+    # session options, so a deployment can carry its own pool width.
+    workers = args.workers if args.workers is not None else session.options.workers
     options = ServerOptions(
         host=args.host, port=args.port,
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
@@ -151,8 +154,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         circuit_threshold=args.circuit_threshold,
         circuit_reset_s=args.circuit_reset,
         degrade=not args.no_degrade,
+        workers=workers,
+        worker_retries=args.worker_retries,
     )
-    serve(session, options, faults=faults, ttl_s=args.ttl)
+    serve(session, options, faults=faults, ttl_s=args.ttl,
+          artifact_path=args.artifact)
     return 0
 
 
@@ -305,6 +311,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seconds before a half-open probe (default: 2)")
     p_serve.add_argument("--no-degrade", action="store_true",
                          help="disable the batch-of-1 poisoned-tile fallback")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="worker processes sharing one mmap'd copy of "
+                              "the weights (default: the artifact's session "
+                              "options, usually 1 = in-process)")
+    p_serve.add_argument("--worker-retries", type=int, default=1,
+                         help="respawn-and-retry budget per task after a "
+                              "worker crash (default: 1)")
     p_serve.add_argument("--inject", metavar="SPEC", type=_fault_spec,
                          help="deterministic fault injection, e.g. "
                               "'kernel:every=7;slow:every=5,delay=0.05'")

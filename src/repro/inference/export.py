@@ -266,7 +266,9 @@ def validate_export(exported: Dict) -> Dict[str, int]:
                 f"{name}: packed blob is {blob.size} B, expected {expected} B "
                 f"for {count} UINT{bits} codes"
             )
-        crc = zlib.crc32(blob.tobytes())
+        # CRC straight off the array's buffer: tobytes() would briefly
+        # duplicate every weight blob, defeating the mmap load path.
+        crc = zlib.crc32(np.ascontiguousarray(blob).data)
         if crc != int(entry["weights_crc32"]):
             raise ValueError(
                 f"{name}: packed blob checksum {crc:#010x} does not match the "

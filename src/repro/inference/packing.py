@@ -111,7 +111,9 @@ def unpack_subbyte(packed: np.ndarray, bits: int, count: int,
     if bits == 8:
         if count > packed.size:
             raise ValueError("not enough packed bytes")
-        return packed[:count].astype(dtype)
+        # copy=False keeps 8-bit codes as a view of the packed buffer —
+        # for an mmap-loaded artifact the weights stay on shared pages.
+        return packed[:count].astype(dtype, copy=False)
     per_byte = 8 // bits
     if count > packed.size * per_byte:
         raise ValueError("not enough packed bytes")

@@ -54,12 +54,17 @@ Vocabulary
     replacement for hand-wired search → convert → compile chains, with
     the device RW-budget assertion built in.
 :mod:`repro.runtime.artifact`
-    The artifact format itself (``save_artifact`` / ``load_artifact``),
-    for tooling that wants the raw manifest.
+    The artifact format itself (``save_artifact`` / ``load_artifact``,
+    the latter with an ``mmap=True`` zero-copy mode), for tooling that
+    wants the raw manifest.
+:class:`WorkerPool` / :class:`PoolOptions`
+    Process-pool scale-out over a saved artifact: N workers share one
+    mmap'd copy of the weights behind a work-stealing dispatcher with
+    crash detection and respawn-and-retry (``repro.runtime.pool``).
 
-All four names are re-exported at the top level (``repro.Session`` …)
-and the ``repro-mcu run <artifact>`` CLI subcommand serves a saved
-artifact from the shell.
+All four core names are re-exported at the top level (``repro.Session``
+…) and the ``repro-mcu run <artifact>`` CLI subcommand serves a saved
+artifact from the shell (``serve --workers N`` for the pool).
 """
 
 from repro.runtime.artifact import load_artifact, read_manifest, save_artifact
@@ -67,8 +72,13 @@ from repro.runtime.errors import (
     ArtifactError,
     ArtifactNotFoundError,
     InvalidInputError,
+    PoolClosedError,
+    PoolError,
+    WorkerCrashedError,
+    WorkerTaskError,
 )
 from repro.runtime.options import CompileOptions, SessionOptions
+from repro.runtime.pool import PoolOptions, WorkerPool
 from repro.runtime.session import LayerTiming, Session, SessionProfile, pipeline
 
 __all__ = [
@@ -84,4 +94,10 @@ __all__ = [
     "ArtifactError",
     "ArtifactNotFoundError",
     "InvalidInputError",
+    "PoolError",
+    "PoolClosedError",
+    "WorkerCrashedError",
+    "WorkerTaskError",
+    "PoolOptions",
+    "WorkerPool",
 ]

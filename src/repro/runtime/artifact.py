@@ -35,6 +35,7 @@ Robustness contract (the serving tier builds on both halves):
 from __future__ import annotations
 
 import json
+import mmap as _mmap
 import os
 import shutil
 import uuid
@@ -111,8 +112,51 @@ def _externalize(node, writer: _BlobWriter, prefix: str):
     return node
 
 
-def _internalize(node, blobs: bytes, table: Dict[str, Dict], path: Path):
-    """Inverse of :func:`_externalize`: resolve blob refs, CRC-checked."""
+class MappedBlobs:
+    """Read-only ``mmap`` view of an artifact's ``blobs.bin``.
+
+    Slicing returns zero-copy :class:`memoryview` windows into the
+    mapping, so CRC verification (``zlib.crc32`` accepts any buffer) and
+    ``np.frombuffer`` both run directly against the page cache — no blob
+    bytes are ever duplicated into the Python heap, and because the file
+    is mapped ``ACCESS_READ`` every resulting array is read-only and its
+    pages are *shared* between all processes that map the same artifact.
+    Arrays keep the mapping alive through their ``.base`` chain; the
+    file descriptor is closed immediately (POSIX keeps a mapping valid
+    after its fd closes).
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        with open(self.path, "rb") as fh:
+            size = os.fstat(fh.fileno()).st_size
+            if size:
+                self._map = _mmap.mmap(fh.fileno(), 0, access=_mmap.ACCESS_READ)
+                self._view = memoryview(self._map)
+            else:  # a zero-blob artifact: mmap refuses empty files
+                self._map = None
+                self._view = memoryview(b"")
+        self.nbytes = size
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def __getitem__(self, key) -> memoryview:
+        # memoryview slicing is zero-copy (mmap's own __getitem__ copies
+        # to bytes, which is exactly what this class exists to avoid).
+        return self._view[key]
+
+
+def _internalize(node, blobs, table: Dict[str, Dict], path: Path,
+                 copy: bool = True):
+    """Inverse of :func:`_externalize`: resolve blob refs, CRC-checked.
+
+    ``blobs`` is anything byte-sliceable — the whole file as ``bytes``,
+    or a :class:`MappedBlobs` whose slices are zero-copy memoryviews.
+    With ``copy=False`` the arrays stay views of ``blobs`` (read-only,
+    backed by shared pages in the mmap case); with ``copy=True`` they
+    own their bytes.
+    """
     if isinstance(node, dict):
         if set(node) == {"$blob"}:
             name = node["$blob"]
@@ -135,10 +179,12 @@ def _internalize(node, blobs: bytes, table: Dict[str, Dict], path: Path):
                     f"match the recorded CRC32 {int(meta['crc32']):#010x}"
                 )
             arr = np.frombuffer(raw, dtype=np.dtype(meta["dtype"]))
-            return arr.reshape(tuple(meta["shape"])).copy()
-        return {k: _internalize(v, blobs, table, path) for k, v in node.items()}
+            arr = arr.reshape(tuple(meta["shape"]))
+            return arr.copy() if copy else arr
+        return {k: _internalize(v, blobs, table, path, copy)
+                for k, v in node.items()}
     if isinstance(node, list):
-        return [_internalize(v, blobs, table, path) for v in node]
+        return [_internalize(v, blobs, table, path, copy) for v in node]
     return node
 
 
@@ -249,7 +295,7 @@ def read_manifest(path: Union[str, Path]) -> Dict:
     return manifest
 
 
-def load_artifact(path: Union[str, Path]):
+def load_artifact(path: Union[str, Path], *, mmap: bool = False):
     """Load an artifact back into ``(network, compile_opts, session_opts, manifest)``.
 
     Every blob is CRC-verified against the manifest table, the
@@ -258,6 +304,13 @@ def load_artifact(path: Union[str, Path]):
     checksums + container dtypes), and the network is rebuilt with
     :func:`import_network` — all without the original
     ``IntegerNetwork``.
+
+    With ``mmap=True`` the blob file is memory-mapped read-only instead
+    of read into the heap: every weight tensor becomes a read-only view
+    of the mapping (zero copies, CRC still verified against the mapped
+    bytes), and because the pages are file-backed and read-only the OS
+    shares them between every process that loads the same artifact —
+    the memory model behind :class:`repro.runtime.pool.WorkerPool`.
     """
     root = Path(path)
     manifest = read_manifest(root)
@@ -266,10 +319,17 @@ def load_artifact(path: Union[str, Path]):
         raise ArtifactNotFoundError(
             f"{root} is a partially-written artifact (missing {BLOBS_NAME})"
         )
-    blobs = blobs_path.read_bytes()
+    if mmap:
+        try:
+            blobs = MappedBlobs(blobs_path)
+        except (OSError, ValueError) as exc:
+            raise ArtifactError(f"{root}: cannot mmap {BLOBS_NAME}: {exc}") from exc
+    else:
+        blobs = blobs_path.read_bytes()
     try:
         exported = _internalize(
-            manifest["network"], blobs, manifest.get("blobs", {}), root
+            manifest["network"], blobs, manifest.get("blobs", {}), root,
+            copy=not mmap,
         )
         validate_export(exported)
         network = import_network(exported)

@@ -41,3 +41,35 @@ class InvalidInputError(ValueError):
     geometry the layer cascade collapses to nothing.  Client-side by
     definition — the serving tier maps it to a 400, never a 500.
     """
+
+
+class PoolError(RuntimeError):
+    """Base class for :class:`repro.runtime.pool.WorkerPool` failures.
+
+    Deliberately *not* a :class:`ValueError`: a pool failure is an
+    operational event (a worker process died, the pool was closed), not
+    a malformed value.  The serving tier treats these like any other
+    batch-execution failure — retry, then surface per policy.
+    """
+
+
+class WorkerCrashedError(PoolError):
+    """A worker process died (or wedged past the task watchdog) while a
+    task was in flight.  The dispatcher respawns the worker; the task is
+    retried up to the pool's retry budget before this error reaches the
+    caller."""
+
+
+class WorkerTaskError(PoolError):
+    """The task itself raised inside the worker.  Carries the remote
+    exception's type name and message; the worker stays alive — this is
+    a task failure, not a worker failure, so no respawn happens."""
+
+    def __init__(self, etype: str, message: str):
+        super().__init__(f"{etype}: {message}")
+        self.etype = etype
+
+
+class PoolClosedError(PoolError):
+    """The pool was closed; no further tasks are accepted and tasks
+    still queued at close time are failed with this error."""

@@ -140,17 +140,28 @@ class SessionOptions:
         Arena geometry: when given, the session plans (and allocates on
         first use) the activation arena for this ``(H, W)`` at
         construction, so the first request pays no planning latency.
+    ``workers``
+        Default process-pool width for scale-out serving: ``1`` keeps
+        everything in-process (the degenerate case), ``N > 1`` lets the
+        serving tier stand up a :class:`repro.runtime.pool.WorkerPool`
+        of N artifact-backed workers sharing one mmap'd copy of the
+        weights.  Stored in the artifact like every other session
+        option, and overridable per serve (CLI ``--workers``).
     """
 
     batch_size: int = 32
     validate: Optional[bool] = None
     input_hw: Optional[Tuple[int, int]] = None
+    workers: int = 1
 
     def __post_init__(self):
         if int(self.batch_size) < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         object.__setattr__(self, "batch_size", int(self.batch_size))
         object.__setattr__(self, "input_hw", _normalize_hw(self.input_hw))
+        if int(self.workers) < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        object.__setattr__(self, "workers", int(self.workers))
 
     def replace(self, **changes) -> "SessionOptions":
         """A copy with ``changes`` applied (frozen-dataclass update)."""

@@ -97,6 +97,10 @@ class Session:
         self.network = network
         self.compile_options = compile_options or CompileOptions()
         self.options = options or SessionOptions()
+        # Artifact directory this session is known to round-trip with
+        # (set by load/save) — lets WorkerPool.from_session reuse it
+        # instead of staging a temporary copy.
+        self.source_artifact: Optional[Path] = None
         self._plan = ExecutionPlan(network, self.compile_options)
         if self.options.input_hw is not None:
             self._plan.arena_for(self.options.input_hw)
@@ -303,23 +307,34 @@ class Session:
     def save(self, path: Union[str, Path]) -> Path:
         """Write the session as a loadable artifact directory
         (manifest.json + CRC-checked blobs.bin); returns the path."""
-        return save_artifact(
+        out = save_artifact(
             path,
             self.network,
             compile_options=self.compile_options,
             session_options=self.options,
         )
+        self.source_artifact = out
+        return out
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "Session":
+    def load(cls, path: Union[str, Path], *, mmap: bool = False) -> "Session":
         """Rehydrate a saved artifact into a running session.
 
         Blob CRCs and packed-weight budgets are verified before
         compilation; the resulting plan is bit-identical to the one the
-        artifact was saved from.
+        artifact was saved from.  ``mmap=True`` keeps the weight blobs
+        as read-only views of the memory-mapped ``blobs.bin`` (pages
+        shared across every process loading the same artifact) instead
+        of private heap copies — the :class:`repro.runtime.pool`
+        workers load this way.
         """
-        network, compile_options, session_options, _ = load_artifact(path)
-        return cls(network, compile_options=compile_options, options=session_options)
+        network, compile_options, session_options, _ = load_artifact(
+            path, mmap=mmap
+        )
+        session = cls(network, compile_options=compile_options,
+                      options=session_options)
+        session.source_artifact = Path(path)
+        return session
 
 
 def pipeline(

@@ -2,10 +2,8 @@
 synchronous, GIL-releasing inference stack.
 
 One ``BatchEngine`` owns one :class:`~repro.runtime.Session` (circuit
-breaking is therefore per model by construction), a single-thread
-executor the batches run on — the compiled plan's activation arena is
-not concurrency-safe, so one inference thread is the correctness
-contract, not a limitation — and the robustness machinery around it:
+breaking is therefore per model by construction), the executor batches
+run on, and the robustness machinery around it:
 
 * **retry with deterministic backoff** for transient faults,
 * a **hung-batch watchdog**: a batch exceeding ``batch_timeout_s`` is
@@ -14,10 +12,22 @@ contract, not a limitation — and the robustness machinery around it:
 * **fault injection hooks** that run inside the executor thread,
   exactly where a real kernel would fail.
 
+Backend width follows ``ServerOptions.workers``.  At ``workers=1`` the
+executor has a single inference thread — the compiled plan's activation
+arena is not concurrency-safe, so one in-process thread is the
+correctness contract, not a limitation.  At ``workers=N`` the engine
+stands up a :class:`repro.runtime.pool.WorkerPool` of N artifact-backed
+processes (one mmap'd copy of the weights, one private arena each) and
+widens the executor to N threads, each of which only *waits* on the
+pool — the arena-safety contract moves into the per-worker processes
+and N tiles really execute concurrently.
+
 The engine reports terminal failures as
 :class:`~repro.serving.errors.BatchExecutionError`; the server layered
 above decides what a terminal failure *means* (degrade, quarantine,
-circuit state) — the engine only executes and retries.
+circuit state) — the engine only executes and retries.  A worker crash
+that survives the pool's own respawn-and-retry budget surfaces like any
+other transient batch fault and goes through the same retry policy.
 """
 
 from __future__ import annotations
@@ -43,11 +53,15 @@ class BatchEngine:
 
     def __init__(self, session, options: Optional[ServerOptions] = None,
                  faults: Optional[FaultInjector] = None,
-                 stats: Optional[ServerStats] = None):
+                 stats: Optional[ServerStats] = None,
+                 artifact_path=None):
         self.session = session
         self.options = options or ServerOptions()
         self.faults = faults
         self.stats = stats or ServerStats()
+        self.workers = max(1, int(self.options.workers))
+        self.artifact_path = artifact_path
+        self.pool = None
         self.breaker = CircuitBreaker(
             failure_threshold=self.options.circuit_threshold,
             reset_after_s=self.options.circuit_reset_s,
@@ -55,19 +69,51 @@ class BatchEngine:
         self._executor = self._new_executor()
         self._closed = False
 
-    @staticmethod
-    def _new_executor() -> concurrent.futures.ThreadPoolExecutor:
+    def _new_executor(self) -> concurrent.futures.ThreadPoolExecutor:
         return concurrent.futures.ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-batch"
+            max_workers=self.workers, thread_name_prefix="repro-batch"
         )
+
+    @property
+    def concurrency(self) -> int:
+        """How many batches may execute at once: the pool width, or one
+        for the in-process single-thread backend."""
+        return self.workers if self.pool is not None else 1
+
+    def start(self) -> None:
+        """Stand up the worker pool when ``workers > 1`` (blocking —
+        spawning + warming N processes takes seconds; the server calls
+        this off the event loop).  Idempotent; a no-op at width 1."""
+        if self.workers <= 1 or self.pool is not None or self._closed:
+            return
+        from repro.runtime.pool import PoolOptions, WorkerPool
+
+        pool_options = PoolOptions(
+            workers=self.workers,
+            retries=self.options.worker_retries,
+            max_tile=max(32, self.options.max_batch),
+        )
+        if self.artifact_path is not None:
+            self.pool = WorkerPool(self.artifact_path, pool_options,
+                                   faults=self.faults)
+            self.pool.start()
+        else:
+            # No artifact on disk: stage one from the live session
+            # (from_session reuses session.source_artifact when known).
+            self.pool = WorkerPool.from_session(self.session, pool_options,
+                                                faults=self.faults)
+            self.pool.start()
 
     def _run_sync(self, xs: np.ndarray, poisoned: bool) -> np.ndarray:
         """Executor-thread body: faults first (that is where a real
-        kernel would blow up), then the actual inference."""
+        kernel would blow up), then the actual inference — in-process,
+        or shipped to a pool worker."""
         if self.faults:
             self.faults.apply_batch_faults()
         if poisoned:
             raise InjectedFaultError("poisoned request in batch")
+        if self.pool is not None:
+            return np.argmax(self.pool.run(xs), axis=1)
         return np.argmax(self.session.run(xs), axis=1)
 
     async def _attempt(self, xs: np.ndarray, poisoned: bool) -> np.ndarray:
@@ -120,3 +166,8 @@ class BatchEngine:
     async def close(self) -> None:
         self._closed = True
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.pool is not None:
+            pool, self.pool = self.pool, None
+            # pool.close() joins dispatcher threads and worker processes
+            # — keep that off the event loop.
+            await asyncio.get_running_loop().run_in_executor(None, pool.close)

@@ -21,6 +21,11 @@ event counts, not on luck:
 ``queue-overflow``
     Force admission control to treat the queue as full for this
     request (shed path without needing a real traffic burst).
+``worker-kill``
+    Consumed by :class:`repro.runtime.pool.WorkerPool`: SIGKILL the
+    worker process *after* a task has been handed to it — a
+    deterministic mid-batch crash the dispatcher must absorb via
+    respawn-and-retry (``serve --workers N --inject worker-kill:every=7``).
 ``malformed``
     Consumed by the *load generator*: emit a garbage payload instead of
     a valid one (the server must 400 it and stay live).
@@ -50,7 +55,8 @@ from typing import Dict, List, Optional, Union
 
 from repro.serving.errors import InjectedFaultError
 
-FAULT_KINDS = ("kernel", "slow", "hang", "poison", "queue-overflow", "malformed")
+FAULT_KINDS = ("kernel", "slow", "hang", "poison", "queue-overflow",
+               "malformed", "worker-kill")
 
 
 @dataclass(frozen=True)

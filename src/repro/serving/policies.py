@@ -136,6 +136,16 @@ class ServerOptions:
         whole tile.
     ``max_body_bytes``
         Request-body size cap (oversized bodies are a 400, not an OOM).
+    ``workers``
+        Inference backend width: ``1`` executes in-process on the
+        engine's single inference thread (the degenerate case); ``N >
+        1`` stands up a :class:`repro.runtime.pool.WorkerPool` of N
+        artifact-backed processes sharing one mmap'd copy of the
+        weights, and the batch loop runs up to N tiles concurrently.
+    ``worker_retries``
+        Pool-level respawn-and-retry budget per task after a worker
+        crash (on top of — and usually instead of — the engine-level
+        ``retry`` policy, which re-runs whole batches).
     """
 
     host: str = "127.0.0.1"
@@ -150,6 +160,8 @@ class ServerOptions:
     circuit_reset_s: float = 2.0
     degrade: bool = True
     max_body_bytes: int = 64 * 1024 * 1024
+    workers: int = 1
+    worker_retries: int = 1
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -160,6 +172,12 @@ class ServerOptions:
             raise ValueError("timeouts must be >= 0")
         if self.batch_timeout_s <= 0:
             raise ValueError("batch_timeout_s must be > 0")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.worker_retries < 0:
+            raise ValueError(
+                f"worker_retries must be >= 0, got {self.worker_retries}"
+            )
 
     def replace(self, **changes) -> "ServerOptions":
         return dataclasses.replace(self, **changes)

@@ -9,9 +9,13 @@ One process, three moving parts:
 * the **batch loop** (one task) drives the
   :class:`~repro.serving.batcher.MicroBatcher` — expire deadlines
   *before* batching, flush on full-or-timeout, carry remainders — and
-  hands tiles to the :class:`~repro.serving.engine.BatchEngine`;
-* the **engine** executes on its single inference thread with retry and
-  a hung-batch watchdog.
+  hands tiles to the :class:`~repro.serving.engine.BatchEngine`,
+  keeping up to ``engine.concurrency`` tiles in flight at once (one for
+  the in-process backend, N for a ``--workers N`` pool);
+* the **engine** executes with retry and a hung-batch watchdog — on its
+  single inference thread, or across a process
+  :class:`~repro.runtime.pool.WorkerPool` sharing one mmap'd copy of
+  the weights.
 
 Failure policy (the README table restates this mapping):
 
@@ -72,30 +76,41 @@ class ServingServer:
     """
 
     def __init__(self, session, options: Optional[ServerOptions] = None,
-                 faults: Optional[FaultInjector] = None):
+                 faults: Optional[FaultInjector] = None,
+                 artifact_path=None):
         self.session = session
         self.options = options or ServerOptions()
         self.faults = faults
         self.stats = ServerStats()
         self.engine = BatchEngine(session, self.options, faults=faults,
-                                  stats=self.stats)
+                                  stats=self.stats,
+                                  artifact_path=artifact_path)
         self.batcher = MicroBatcher(self.options.max_batch,
                                     self.options.max_wait_ms / 1e3)
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop_task: Optional[asyncio.Task] = None
         self._wakeup = asyncio.Event()
         self._closing = False
-        self._inflight: List[Request] = []
+        # In-flight batches keyed by identity: with a worker pool
+        # several batches execute at once (Request is unhashable, so
+        # lists-in-a-dict rather than a set).
+        self._inflight: dict = {}
+        self._batch_tasks: set = set()
         self._startup_health: Optional[dict] = None
         self.host: Optional[str] = None
         self.port: Optional[int] = None
 
+    def _inflight_count(self) -> int:
+        return sum(len(batch) for batch in self._inflight.values())
+
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> Tuple[str, int]:
-        """Warm the engine (one healthcheck inference plans the arena),
-        bind the socket, and start the batch loop.  Returns the bound
+        """Stand up the backend (worker pool when ``workers > 1``), warm
+        the engine (one healthcheck inference plans the arena), bind the
+        socket, and start the batch loop.  Returns the bound
         ``(host, port)`` — pass ``port=0`` for an ephemeral port."""
         loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.engine.start)
         self._startup_health = await loop.run_in_executor(
             None, self.session.healthcheck
         )
@@ -110,21 +125,27 @@ class ServingServer:
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, fail everything pending
-        with a 503, stop the loop, release the inference thread."""
+        with a 503, stop the loop, release the inference backend."""
         self._closing = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        if self._loop_task is not None:
-            self._loop_task.cancel()
+        for task in [self._loop_task, *self._batch_tasks]:
+            if task is None:
+                continue
+            task.cancel()
             try:
-                await self._loop_task
+                await task
             except (asyncio.CancelledError, Exception):
                 pass
-        for r in self.batcher.drain() + list(self._inflight):
+        self._batch_tasks.clear()
+        pending = self.batcher.drain() + [
+            r for batch in self._inflight.values() for r in batch
+        ]
+        for r in pending:
             if self._fail(r, ServerClosingError("server is shutting down")):
                 self.stats.shed_shutdown += 1
-        self._inflight = []
+        self._inflight = {}
         await self.engine.close()
 
     async def serve_forever(self, ttl_s: Optional[float] = None) -> None:
@@ -179,19 +200,32 @@ class ServingServer:
                 except asyncio.TimeoutError:
                     pass
                 continue
-            self._inflight = batch
-            try:
-                await self._process_batch(batch)
-            except asyncio.CancelledError:
-                raise
-            except Exception as exc:  # defence: the loop must not die
-                for r in batch:
-                    self._fail(r, BatchExecutionError(
-                        f"unexpected serving failure: {type(exc).__name__}: {exc}"
-                    ))
-                    self.stats.failed += 1
-            finally:
-                self._inflight = []
+            # Dispatch the tile as its own task so up to
+            # engine.concurrency batches execute at once (N pool
+            # workers -> N concurrent tiles); at the limit, wait for a
+            # slot instead of queueing unboundedly.
+            while len(self._batch_tasks) >= self.engine.concurrency:
+                await asyncio.wait(self._batch_tasks,
+                                   return_when=asyncio.FIRST_COMPLETED)
+            task = asyncio.create_task(self._run_batch_task(batch),
+                                       name="repro-batch")
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch_task(self, batch: List[Request]) -> None:
+        self._inflight[id(batch)] = batch
+        try:
+            await self._process_batch(batch)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # defence: batch tasks must not leak
+            for r in batch:
+                self._fail(r, BatchExecutionError(
+                    f"unexpected serving failure: {type(exc).__name__}: {exc}"
+                ))
+                self.stats.failed += 1
+        finally:
+            self._inflight.pop(id(batch), None)
 
     def _record_breaker(self, success: bool) -> None:
         breaker = self.engine.breaker
@@ -323,12 +357,22 @@ class ServingServer:
             "queued": len(self.batcher),
             "startup": startup,
         }
+        pool = self.engine.pool
+        if pool is not None:
+            payload["workers"] = {
+                "configured": pool.options.workers,
+                "alive": pool.alive_workers(),
+                "restarts": pool.restarts,
+            }
         return (200 if ok else 503), payload, {}
 
     def _stats_payload(self) -> dict:
         payload = self.stats.to_dict()
         payload["circuit"] = self.engine.breaker.state.value
         payload["queued"] = len(self.batcher)
+        payload["inflight"] = self._inflight_count()
+        if self.engine.pool is not None:
+            payload["pool"] = self.engine.pool.stats()
         if self.faults:
             payload["faults"] = self.faults.summary()
         return payload
@@ -382,7 +426,7 @@ class ServingServer:
         if self.engine.breaker.state is BreakerState.OPEN:
             self.stats.shed_circuit += 1
             raise CircuitOpenError("circuit is open; retry later")
-        depth = len(self.batcher) + len(self._inflight)
+        depth = len(self.batcher) + self._inflight_count()
         overflow = self.faults.fire("queue-overflow") if self.faults else None
         if depth >= self.options.queue_depth or overflow is not None:
             self.stats.shed_queue += 1
@@ -427,17 +471,20 @@ class ServingServer:
 def serve(session, options: Optional[ServerOptions] = None,
           faults: Optional[FaultInjector] = None,
           ttl_s: Optional[float] = None,
-          announce=print) -> None:
+          announce=print, artifact_path=None) -> None:
     """Blocking convenience entry point (the ``repro-mcu serve`` body):
     start, announce the bound address, serve until Ctrl-C or ``ttl_s``,
-    shut down cleanly."""
+    shut down cleanly.  ``artifact_path`` lets a ``--workers N`` pool
+    mmap the artifact already on disk instead of staging a copy."""
 
     async def _main():
-        server = ServingServer(session, options=options, faults=faults)
+        server = ServingServer(session, options=options, faults=faults,
+                               artifact_path=artifact_path)
         host, port = await server.start()
         if announce is not None:
             announce(f"serving on http://{host}:{port} "
-                     f"(max_batch={server.options.max_batch}, "
+                     f"(workers={server.engine.workers}, "
+                     f"max_batch={server.options.max_batch}, "
                      f"queue_depth={server.options.queue_depth}) — Ctrl-C to stop")
         try:
             await server.serve_forever(ttl_s=ttl_s)
