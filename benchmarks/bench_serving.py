@@ -23,6 +23,13 @@ Throughput is *recorded*, never *gated* — CI runners are often 1-2
 cores, where extra workers cannot speed anything up; the report carries
 ``cpu_count`` so readers can judge the numbers in context.
 
+A fourth section drives the **fleet axis**: one server over a
+three-config zoo registry (``serve --fleet`` equivalent) under a memory
+budget that holds two of the three models, so the drive itself forces
+LRU eviction and lazy reload.  Per-config rows record throughput, p99,
+and peak RSS; registry counters (loads, evictions, resident bytes) ride
+along so a residency regression shows up in the artifact diff.
+
 Run as a script (CI smoke lane)::
 
     python benchmarks/bench_serving.py --quick
@@ -199,6 +206,99 @@ async def _run_workers_point(session, artifact_path, workers, quick):
     return point
 
 
+FLEET_CONFIGS = [(32, 0.25), (64, 0.25), (96, 0.25)]
+
+
+def _peak_rss_bytes() -> int:
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    return peak * 1024 if sys.platform != "darwin" else peak
+
+
+async def _run_fleet_axis(fleet_dir, quick):
+    """Mixed-model closed-loop drive through one fleet server whose
+    budget holds two of the three configs: per-config latency rows plus
+    the eviction/reload counters the residency policy must produce."""
+    from repro.serving import ModelRegistry
+
+    costs = {}
+    with ModelRegistry.from_directory(fleet_dir) as probe:
+        for name in probe.models:
+            costs[name] = probe.entry(name).cost_bytes()
+    ordered = sorted(costs.values())
+    budget = ordered[-1] + ordered[-2] + 4096  # two of three resident
+
+    registry = ModelRegistry.from_directory(fleet_dir,
+                                            memory_budget_bytes=budget)
+    options = ServerOptions(
+        port=0, max_batch=8, max_wait_ms=2.0, queue_depth=256,
+        default_deadline_ms=0.0,
+        retry=RetryPolicy(attempts=2, base_delay_s=0.005),
+    )
+    server = ServingServer(registry=registry, options=options)
+    host, port = await server.start()
+    rounds = 4 if quick else 16
+    images = {
+        name: np.random.default_rng(1).uniform(
+            0, 1, size=(3, int(name.split("x")[0]), int(name.split("x")[0]))
+        )
+        for name in registry.models
+    }
+    per_config = {
+        name: {"lat": LatencyRecorder(), "statuses": []}
+        for name in registry.models
+    }
+    rss_before = _peak_rss_bytes()
+    try:
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            # Round-robin across the fleet: every round touches all
+            # three models, so the two-of-three budget must evict.
+            for name in registry.models:
+                t1 = time.perf_counter()
+                status, _ = await predict(host, port, images[name],
+                                          model=name, deadline_ms=0)
+                per_config[name]["lat"].observe(time.perf_counter() - t1)
+                per_config[name]["statuses"].append(status)
+        wall = time.perf_counter() - t0
+        registry_stats = registry.stats()
+        out = {
+            "budget_bytes": budget,
+            "model_cost_bytes": costs,
+            "rounds": rounds,
+            "peak_rss_bytes": _peak_rss_bytes(),
+            "peak_rss_delta_bytes": _peak_rss_bytes() - rss_before,
+            "resident_bytes_at_stop": registry_stats["resident_bytes"],
+            "loads": registry_stats["loads"],
+            "evictions": registry_stats["evictions"],
+            "per_config": [
+                dict(
+                    _tally(rec["lat"], rec["statuses"],
+                           wall * len(rec["statuses"]) / max(1, rounds * 3)),
+                    model=name,
+                    loads=registry_stats["models"][name]["loads"],
+                    evictions=registry_stats["models"][name]["evictions"],
+                    cost_bytes=costs[name],
+                )
+                for name, rec in sorted(per_config.items())
+            ],
+            "pending_at_stop": len(server.batcher),
+        }
+    finally:
+        await server.stop()
+    return out
+
+
+def _run_fleet_bench(quick):
+    from repro.serving import materialize_fleet
+
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp:
+        materialize_fleet(Path(tmp), FLEET_CONFIGS, num_classes=5)
+        return asyncio.run(_run_fleet_axis(Path(tmp), quick))
+
+
 def _run_workers_axis(session, workers_list, quick):
     """Sweep pool widths over the same artifact (mmap-shared weights)."""
     with tempfile.TemporaryDirectory(prefix="bench-serving-") as tmp:
@@ -222,6 +322,7 @@ def run_bench(quick: bool, output: Path, workers_list) -> int:
         "clean": asyncio.run(_run_profile(session, None, quick)),
         "faulted": asyncio.run(_run_profile(session, FAULT_MIX, quick)),
         "workers_axis": _run_workers_axis(session, workers_list, quick),
+        "fleet_axis": _run_fleet_bench(quick),
     }
 
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -255,6 +356,21 @@ def run_bench(quick: bool, output: Path, workers_list) -> int:
         pool = point.get("pool")
         if pool is not None and pool["alive"] != w:
             failures.append(f"workers={w}: only {pool['alive']} workers alive")
+    # Fleet axis: every config fully served, the budget actually forced
+    # eviction + reload, and residency ended inside the budget.  Like
+    # the workers axis, throughput itself is recorded, not gated.
+    fleet = report["fleet_axis"]
+    for point in fleet["per_config"]:
+        if int(point["status_counts"].get("200", 0)) != point["requests"]:
+            failures.append(f"fleet {point['model']}: not every request served")
+    if fleet["evictions"] < 1:
+        failures.append("fleet: the two-of-three budget never forced eviction")
+    if fleet["loads"] <= len(fleet["per_config"]):
+        failures.append("fleet: no lazy reload after eviction")
+    if fleet["resident_bytes_at_stop"] > fleet["budget_bytes"]:
+        failures.append("fleet: resident bytes ended above the budget")
+    if fleet["pending_at_stop"]:
+        failures.append("fleet: dirty shutdown")
 
     for label in ("clean", "faulted"):
         c = report[label]["closed_loop"]
@@ -268,6 +384,14 @@ def run_bench(quick: bool, output: Path, workers_list) -> int:
         print(f" workers={point['workers']:<2} closed-loop  "
               f"{point['achieved_qps']:>7} qps   "
               f"p50 {point['p50_ms']:>7} ms   p99 {point['p99_ms']:>7} ms")
+    for point in fleet["per_config"]:
+        print(f" fleet {point['model']:<9} "
+              f"{point['achieved_qps']:>7} qps   "
+              f"p50 {point['p50_ms']:>7} ms   p99 {point['p99_ms']:>7} ms   "
+              f"loads {point['loads']}  evictions {point['evictions']}")
+    print(f" fleet residency: {fleet['evictions']} evictions, "
+          f"{fleet['loads']} loads, budget {fleet['budget_bytes']} B, "
+          f"peak RSS {fleet['peak_rss_bytes']} B")
 
     if failures:
         for f in failures:

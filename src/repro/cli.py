@@ -7,6 +7,7 @@ Installed as the ``repro-mcu`` console script::
                       --save-artifact model.artifact
     repro-mcu run     model.artifact --batch 4 --profile
     repro-mcu serve   model.artifact --port 8707 --max-batch 8
+    repro-mcu serve   --fleet artifacts/ --memory-budget-kb 1024
     repro-mcu sweep   --device stm32h7 --method PC+ICN
     repro-mcu table   table2
 
@@ -135,15 +136,43 @@ def _fault_spec(text: str) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serving import FaultInjector, RetryPolicy, ServerOptions, serve
+    from repro.serving import (
+        FaultInjector,
+        ModelRegistry,
+        RetryPolicy,
+        ServerOptions,
+        serve,
+    )
 
-    session = Session.load(args.artifact)
+    if (args.artifact is None) == (args.fleet is None):
+        print("error: serve needs exactly one of an artifact path or "
+              "--fleet DIR", file=sys.stderr)
+        return 2
+    session = registry = None
+    default_model = None
+    if args.fleet is not None:
+        budget = (args.memory_budget_kb * 1024
+                  if args.memory_budget_kb is not None else None)
+        registry = ModelRegistry.from_directory(
+            args.fleet, memory_budget_bytes=budget,
+            workers=max(1, args.workers or 1),
+            worker_retries=args.worker_retries,
+        )
+        default_model = args.default_model
+        if default_model is not None and default_model not in registry:
+            print(f"error: --default-model {default_model!r} is not in the "
+                  f"fleet {registry.models}", file=sys.stderr)
+            return 2
+    else:
+        session = Session.load(args.artifact)
     faults = None
     if args.inject:
         faults = FaultInjector.parse(args.inject, seed=args.fault_seed)
     # --workers falls back to the workers count baked into the artifact's
     # session options, so a deployment can carry its own pool width.
-    workers = args.workers if args.workers is not None else session.options.workers
+    workers = args.workers if args.workers is not None else (
+        session.options.workers if session is not None else 1
+    )
     options = ServerOptions(
         host=args.host, port=args.port,
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
@@ -158,7 +187,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         worker_retries=args.worker_retries,
     )
     serve(session, options, faults=faults, ttl_s=args.ttl,
-          artifact_path=args.artifact)
+          artifact_path=args.artifact, registry=registry,
+          default_model=default_model)
     return 0
 
 
@@ -285,8 +315,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser(
         "serve", help="serve an artifact over the fault-tolerant "
                       "micro-batching HTTP front end")
-    p_serve.add_argument("artifact", help="artifact directory written by "
+    p_serve.add_argument("artifact", nargs="?", default=None,
+                         help="artifact directory written by "
                                           "Session.save / deploy --save-artifact")
+    p_serve.add_argument("--fleet", metavar="DIR", default=None,
+                         help="serve every artifact under DIR as a "
+                              "multi-model fleet (requests route by their "
+                              "'model' field; mutually exclusive with the "
+                              "positional artifact)")
+    p_serve.add_argument("--memory-budget-kb", type=int, default=None,
+                         help="fleet residency budget in KiB (weights + "
+                              "Eq. 7 arena peak per resident model; "
+                              "least-recently-used idle models are evicted "
+                              "to fit; default: unlimited)")
+    p_serve.add_argument("--default-model", default=None,
+                         help="fleet model used when a request omits "
+                              "'model' (also warmed at startup)")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8707,
                          help="TCP port (0 = ephemeral; default: 8707)")

@@ -352,9 +352,25 @@ class ActivationArena:
     ``ensure`` grows capacity monotonically; views are handed out per
     call, sliced to the live batch, so a smaller batch reuses the same
     storage.
+
+    **Shape polymorphism** (``slabs_from``): an arena may *adopt* the
+    slabs of a donor arena planned for a larger (max) geometry instead
+    of allocating its own.  Every per-image slab requirement is monotone
+    non-decreasing in the input ``(H, W)`` (``conv_output_size`` is
+    monotone, and every pad/cols/acc/requant formula scales with the
+    layer element counts), so an arena planned for any geometry at or
+    below the donor's fits inside the donor's slabs; the per-call views
+    slice only the prefix they need.  The child keeps its *own* per-layer
+    plan list — so Eq. 7 accounting, ``describe`` and the physical-bytes
+    checks stay exact for its geometry — while ``ensure`` delegates all
+    storage to the donor.  This is what lets one
+    :class:`~repro.inference.plan.ExecutionPlan` serve every input
+    geometry up to a declared maximum without per-resolution slab
+    explosion.
     """
 
-    def __init__(self, plans: Sequence[LayerActivationPlan]):
+    def __init__(self, plans: Sequence[LayerActivationPlan],
+                 slabs_from: Optional["ActivationArena"] = None):
         self.plans: List[LayerActivationPlan] = list(plans)
         conv = [p for p in self.plans if p.kind != "fc"]
         self.code_slot_bytes_per_image = [
@@ -379,6 +395,32 @@ class ActivationArena:
         self._cols: Optional[np.ndarray] = None
         self._acc: Optional[np.ndarray] = None
         self._requant: Optional[np.ndarray] = None
+        self._donor = slabs_from
+        if slabs_from is not None:
+            self._check_fits_donor(slabs_from)
+
+    def _check_fits_donor(self, donor: "ActivationArena") -> None:
+        """Every per-image byte need must fit the donor's slab sizing —
+        guaranteed by monotonicity when the donor was planned for a
+        geometry at least as large, asserted here so a violation fails
+        loudly at plan time rather than corrupting a slab at run time."""
+        pairs = [
+            ("code slot 0", self.code_slot_bytes_per_image[0],
+             donor.code_slot_bytes_per_image[0]),
+            ("code slot 1", self.code_slot_bytes_per_image[1],
+             donor.code_slot_bytes_per_image[1]),
+            ("pad", self.pad_bytes_per_image, donor.pad_bytes_per_image),
+            ("cols", self.cols_bytes_per_image, donor.cols_bytes_per_image),
+            ("acc", self.acc_bytes_per_image, donor.acc_bytes_per_image),
+            ("requant", self.requant_scratch_bytes,
+             donor.requant_scratch_bytes),
+        ]
+        for label, need, have in pairs:
+            if need > have:
+                raise ValueError(
+                    f"arena cannot share slabs: {label} needs {need} B/image "
+                    f"but the donor arena only provisions {have} B/image"
+                )
 
     # -- sizing --------------------------------------------------------
     def bytes_per_image(self) -> int:
@@ -410,8 +452,24 @@ class ActivationArena:
         return sum(self.code_slot_bytes_per_image) * int(batch_size)
 
     @property
+    def shares_slabs(self) -> bool:
+        """Whether this arena executes inside a donor arena's slabs."""
+        return self._donor is not None
+
+    @property
+    def donor(self) -> Optional["ActivationArena"]:
+        """The max-geometry arena whose slabs this one adopts (or None)."""
+        return self._donor
+
+    @property
     def allocated_bytes(self) -> int:
-        """Bytes actually held right now (== planned at current capacity)."""
+        """Bytes actually held right now (== planned at current capacity).
+
+        A slab-sharing arena owns nothing — its storage is accounted to
+        the donor, so summing ``allocated_bytes`` over a plan's arenas
+        never double-counts."""
+        if self._donor is not None:
+            return 0
         return self.planned_bytes(self.capacity) if self.capacity else 0
 
     @property
@@ -421,8 +479,22 @@ class ActivationArena:
 
     # -- allocation ----------------------------------------------------
     def ensure(self, batch_size: int) -> None:
-        """Grow the slabs to hold ``batch_size`` images (never shrinks)."""
+        """Grow the slabs to hold ``batch_size`` images (never shrinks).
+
+        A slab-sharing arena grows the *donor* instead (at the donor's
+        larger per-image sizes) and adopts its slabs — the donor's
+        capacity for ``n`` images is sufficient for any smaller geometry
+        by the monotonicity argument checked at construction."""
         n = int(batch_size)
+        if self._donor is not None:
+            self._donor.ensure(n)
+            self._codes = list(self._donor._codes)
+            self._pad = self._donor._pad
+            self._cols = self._donor._cols
+            self._acc = self._donor._acc
+            self._requant = self._donor._requant
+            self.capacity = self._donor.capacity
+            return
         if n <= self.capacity:
             return
         self._codes = [

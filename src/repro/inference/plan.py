@@ -691,6 +691,11 @@ class ExecutionPlan:
                                 refined_bound=options.refined_bound)
         )
         self._arenas: Dict[Tuple[int, int], ActivationArena] = {}
+        # Shape-polymorphic plans size one arena for the declared max
+        # geometry; every smaller geometry adopts its slabs (arena_for).
+        self._max_arena: Optional[ActivationArena] = None
+        if options.max_input_hw is not None:
+            self._max_arena = self.arena_for(options.max_input_hw)
         if options.input_hw is not None:
             self.arena_for(options.input_hw)
 
@@ -735,11 +740,29 @@ class ExecutionPlan:
         Eq. 7 ``logical_rw_peak_bytes`` the deploy path checks against a
         device's RW budget, and the container-width
         ``physical_code_bytes`` that must equal it for 8-bit networks.
+
+        Under ``options.max_input_hw`` the plan is *shape-polymorphic*:
+        the max-geometry arena owns the slabs, any smaller ``(H, W)``
+        gets a per-geometry plan that adopts them (exact Eq. 7
+        accounting, zero extra slab bytes), and a geometry exceeding the
+        declared max in either dimension raises ``ValueError``.
         """
         key = (int(input_hw[0]), int(input_hw[1]))
         arena = self._arenas.get(key)
         if arena is None:
-            arena = ActivationArena(plan_activations(self._geometries(), key))
+            donor = None
+            max_hw = self.options.max_input_hw
+            if self._max_arena is not None and key != max_hw:
+                if key[0] > max_hw[0] or key[1] > max_hw[1]:
+                    raise ValueError(
+                        f"input geometry {key[0]}x{key[1]} exceeds the "
+                        f"plan's declared max geometry "
+                        f"{max_hw[0]}x{max_hw[1]}"
+                    )
+                donor = self._max_arena
+            arena = ActivationArena(
+                plan_activations(self._geometries(), key), slabs_from=donor
+            )
             self._arenas[key] = arena
         return arena
 

@@ -124,6 +124,12 @@ class MappedBlobs:
     Arrays keep the mapping alive through their ``.base`` chain; the
     file descriptor is closed immediately (POSIX keeps a mapping valid
     after its fd closes).
+
+    Lifetime: without an explicit :meth:`close` the mapping (and its
+    page-cache pin) survives until the garbage collector reaps the last
+    array view — unbounded on a busy server.  ``Session.close()`` drops
+    its views and calls :meth:`close`, which is what the fleet registry
+    relies on to actually return memory on LRU eviction.
     """
 
     def __init__(self, path: Union[str, Path]):
@@ -137,6 +143,7 @@ class MappedBlobs:
                 self._map = None
                 self._view = memoryview(b"")
         self.nbytes = size
+        self._closed = False
 
     def __len__(self) -> int:
         return self.nbytes
@@ -144,7 +151,45 @@ class MappedBlobs:
     def __getitem__(self, key) -> memoryview:
         # memoryview slicing is zero-copy (mmap's own __getitem__ copies
         # to bytes, which is exactly what this class exists to avoid).
+        if self._closed:
+            raise ValueError(f"{self.path}: mapping is closed")
         return self._view[key]
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Unmap ``blobs.bin`` now instead of at GC time.
+
+        Requires every array view into the mapping to be dead; if any
+        survive, one garbage-collection pass is attempted (views that
+        died in a reference cycle are common after a plan teardown)
+        before the ``BufferError`` propagates to the caller — silently
+        leaking the mapping would defeat the point of eviction.
+        Idempotent; subsequent slicing raises ``ValueError``.
+        """
+        if self._closed:
+            return
+        try:
+            self._release()
+        except BufferError:
+            import gc
+
+            gc.collect()
+            self._release()
+        self._closed = True
+
+    def _release(self) -> None:
+        self._view.release()
+        if self._map is not None:
+            self._map.close()
+
+    def __enter__(self) -> "MappedBlobs":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _internalize(node, blobs, table: Dict[str, Dict], path: Path,
@@ -336,10 +381,26 @@ def load_artifact(path: Union[str, Path], *, mmap: bool = False):
         compile_options = CompileOptions.from_dict(manifest.get("compile_options", {}))
         session_options = SessionOptions.from_dict(manifest.get("session_options", {}))
     except ArtifactError:
+        if mmap:
+            _close_quietly(blobs)
         raise
     except (ValueError, TypeError, KeyError) as exc:
         # Manifest/blob contents that parse but cannot be rebuilt into a
         # network (bad shapes, failed integrity pass, unknown options)
         # are corruption too — surface them under the one typed error.
+        if mmap:
+            _close_quietly(blobs)
         raise ArtifactError(f"{root}: corrupt artifact: {exc}") from exc
+    if mmap:
+        # Hand the mapping's lifetime to the caller: Session picks this
+        # up so Session.close() can unmap deterministically (the fleet
+        # registry's eviction path) instead of waiting for GC.
+        network.mapped_blobs = blobs
     return network, compile_options, session_options, manifest
+
+
+def _close_quietly(blobs) -> None:
+    try:
+        blobs.close()
+    except BufferError:
+        pass  # partially-built views survive; GC reaps the mapping later

@@ -68,6 +68,13 @@ class CompileOptions:
     ``input_hw``
         Optional ``(H, W)`` to plan the activation arena eagerly at
         compile time instead of lazily on first run.
+    ``max_input_hw``
+        Declared maximum input geometry for a *shape-polymorphic* plan:
+        the activation arena is sized once for this ``(H, W)`` and every
+        smaller geometry executes inside the same slabs (per-geometry
+        plans adopt the max arena's storage instead of allocating their
+        own).  Inputs exceeding either dimension are rejected.  ``None``
+        (the default) keeps the historical per-geometry arenas.
     """
 
     backend: str = "auto"
@@ -77,6 +84,7 @@ class CompileOptions:
     narrow: bool = True
     refined_bound: bool = True
     input_hw: Optional[Tuple[int, int]] = None
+    max_input_hw: Optional[Tuple[int, int]] = None
 
     def __post_init__(self):
         if self.backend not in VALID_BACKENDS:
@@ -89,6 +97,17 @@ class CompileOptions:
                 f"got {self.fused_depthwise!r}"
             )
         object.__setattr__(self, "input_hw", _normalize_hw(self.input_hw))
+        object.__setattr__(self, "max_input_hw", _normalize_hw(self.max_input_hw))
+        if (
+            self.input_hw is not None
+            and self.max_input_hw is not None
+            and (self.input_hw[0] > self.max_input_hw[0]
+                 or self.input_hw[1] > self.max_input_hw[1])
+        ):
+            raise ValueError(
+                f"input_hw {self.input_hw} exceeds max_input_hw "
+                f"{self.max_input_hw}"
+            )
 
     @classmethod
     def from_legacy_kwargs(cls, **kwargs) -> "CompileOptions":
@@ -115,8 +134,14 @@ class CompileOptions:
     def to_dict(self) -> dict:
         """JSON-serialisable form (used by the session artifact)."""
         d = dataclasses.asdict(self)
-        if d["input_hw"] is not None:
-            d["input_hw"] = list(d["input_hw"])
+        for key in ("input_hw", "max_input_hw"):
+            if d[key] is not None:
+                d[key] = list(d[key])
+        # Artifacts written before shape-polymorphic plans existed have
+        # no max_input_hw key; omit the default so those artifacts and
+        # new-default ones serialise identically.
+        if d["max_input_hw"] is None:
+            del d["max_input_hw"]
         return d
 
     @classmethod

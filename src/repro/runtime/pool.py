@@ -641,30 +641,38 @@ class WorkerPool:
             return [len(q) for q in self._queues]
 
     def stats(self) -> dict:
-        """Health + accounting snapshot (the ``/stats`` pool section)."""
-        return {
-            "workers": self.options.workers,
-            "alive": self.alive_workers(),
-            "restarts": self._total_restarts,
-            "kills": self.kills,
-            "served": sum(h.served for h in self._workers),
-            "stolen": sum(h.stolen for h in self._workers),
-            "inline_fallbacks": self.inline_fallbacks,
-            "queue_depths": self.queue_depths(),
-            "mmap_weights": self.options.mmap_weights,
-            "per_worker": [
-                {
-                    "worker": h.worker_id,
-                    "pid": h.pid,
-                    "alive": h.alive,
-                    "state": h.state,
-                    "served": h.served,
-                    "restarts": h.restarts,
-                    "stolen": h.stolen,
-                }
-                for h in self._workers
-            ],
-        }
+        """Health + accounting snapshot (the ``/stats`` pool section).
+
+        Taken under the pool lock so the counters, queue depths and
+        per-worker rows all describe one instant — an unlocked snapshot
+        can sum ``served`` mid-restart and report a batch both in a
+        queue and in a worker's tally.  (``queue_depths`` re-enters the
+        lock; the Condition's default lock is reentrant.)
+        """
+        with self._lock:
+            return {
+                "workers": self.options.workers,
+                "alive": self.alive_workers(),
+                "restarts": self._total_restarts,
+                "kills": self.kills,
+                "served": sum(h.served for h in self._workers),
+                "stolen": sum(h.stolen for h in self._workers),
+                "inline_fallbacks": self.inline_fallbacks,
+                "queue_depths": self.queue_depths(),
+                "mmap_weights": self.options.mmap_weights,
+                "per_worker": [
+                    {
+                        "worker": h.worker_id,
+                        "pid": h.pid,
+                        "alive": h.alive,
+                        "state": h.state,
+                        "served": h.served,
+                        "restarts": h.restarts,
+                        "stolen": h.stolen,
+                    }
+                    for h in self._workers
+                ],
+            }
 
     def worker_pids(self) -> List[Optional[int]]:
         return [h.pid for h in self._workers]

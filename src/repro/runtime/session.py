@@ -101,14 +101,55 @@ class Session:
         # (set by load/save) — lets WorkerPool.from_session reuse it
         # instead of staging a temporary copy.
         self.source_artifact: Optional[Path] = None
+        # mmap-loaded networks carry their MappedBlobs handle so
+        # Session.close() can release the mapping (registry eviction).
+        self.mapped_blobs = getattr(network, "mapped_blobs", None)
+        self._closed = False
         self._plan = ExecutionPlan(network, self.compile_options)
         if self.options.input_hw is not None:
             self._plan.arena_for(self.options.input_hw)
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the session's resources: drop the compiled plan and
+        network (freeing arena slabs and, for mmap-loaded artifacts,
+        every weight view), then close the underlying
+        :class:`~repro.runtime.artifact.MappedBlobs` mapping so the
+        page-cache pin is released immediately instead of at GC time.
+        Idempotent; the registry calls this on LRU eviction.  A closed
+        session raises ``RuntimeError`` from every inference entry point.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        # Order matters: every mmap-backed array (network weights,
+        # compiled requant-parameter views) must be unreachable before
+        # the mapping can release its exported buffers.
+        self._plan = None
+        self.network = None
+        blobs, self.mapped_blobs = self.mapped_blobs, None
+        if blobs is not None:
+            blobs.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
 
     # -- introspection -------------------------------------------------
     @property
     def plan(self) -> ExecutionPlan:
         """The compiled :class:`ExecutionPlan` backing this session."""
+        self._require_open()
         return self._plan
 
     def layer_info(self):
@@ -136,6 +177,7 @@ class Session:
         below one pixel.  ``SessionOptions(validate=False)`` skips the
         scan for trusted in-process callers.
         """
+        self._require_open()
         try:
             arr = np.asarray(x_real)
         except Exception as exc:
@@ -161,6 +203,12 @@ class Session:
                     f"network expects {expected}"
                 )
             h, w = int(arr.shape[2]), int(arr.shape[3])
+            max_hw = self.compile_options.max_input_hw
+            if max_hw is not None and (h > max_hw[0] or w > max_hw[1]):
+                raise InvalidInputError(
+                    f"input geometry {h}x{w} exceeds the session's declared "
+                    f"max geometry {max_hw[0]}x{max_hw[1]}"
+                )
             from repro.nn.functional import conv_output_size
 
             for layer in plan.layers:
@@ -184,17 +232,20 @@ class Session:
     # -- serving -------------------------------------------------------
     def run(self, x_real: np.ndarray) -> np.ndarray:
         """Single-shot inference: real NCHW batch -> real logits."""
+        self._require_open()
         return self._plan.run(self._checked(x_real))
 
     def run_codes(self, x_codes: np.ndarray) -> np.ndarray:
         """Run the conv trunk on integer codes (boundary validation per
         ``options.validate``; ``None`` keeps the compiled default)."""
+        self._require_open()
         return self._plan.run_codes(x_codes, validate=self.options.validate)
 
     def run_batched(self, x_real: np.ndarray,
                     batch_size: Optional[int] = None) -> np.ndarray:
         """Stream a sweep through the arena in ``batch_size`` tiles
         (default ``options.batch_size``)."""
+        self._require_open()
         return self._plan.run_batched(
             self._checked(x_real), batch_size=batch_size or self.options.batch_size
         )
@@ -317,7 +368,8 @@ class Session:
         return out
 
     @classmethod
-    def load(cls, path: Union[str, Path], *, mmap: bool = False) -> "Session":
+    def load(cls, path: Union[str, Path], *, mmap: bool = False,
+             max_input_hw: Optional[Tuple[int, int]] = None) -> "Session":
         """Rehydrate a saved artifact into a running session.
 
         Blob CRCs and packed-weight budgets are verified before
@@ -326,11 +378,20 @@ class Session:
         as read-only views of the memory-mapped ``blobs.bin`` (pages
         shared across every process loading the same artifact) instead
         of private heap copies — the :class:`repro.runtime.pool`
-        workers load this way.
+        workers load this way (``close()`` releases the mapping).
+
+        ``max_input_hw`` overrides the artifact's compile options with a
+        shape-polymorphic max geometry — the registry's load path, which
+        sizes one arena per model at the artifact's native resolution
+        and routes every smaller request shape into it.
         """
         network, compile_options, session_options, _ = load_artifact(
             path, mmap=mmap
         )
+        if max_input_hw is not None:
+            compile_options = compile_options.replace(
+                max_input_hw=max_input_hw
+            )
         session = cls(network, compile_options=compile_options,
                       options=session_options)
         session.source_artifact = Path(path)

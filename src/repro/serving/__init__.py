@@ -25,7 +25,7 @@ Quickstart::
 or from the shell: ``repro-mcu serve model.artifact``.
 """
 
-from repro.serving.batcher import MicroBatcher, Request
+from repro.serving.batcher import FleetBatcher, MicroBatcher, Request
 from repro.serving.client import predict, raw_request, request_json
 from repro.serving.engine import BatchEngine
 from repro.serving.errors import (
@@ -35,24 +35,32 @@ from repro.serving.errors import (
     HungBatchError,
     InjectedFaultError,
     MalformedRequestError,
+    ModelNotFoundError,
+    OverBudgetError,
     QueueFullError,
     ServerClosingError,
     ServingError,
 )
 from repro.serving.faults import FaultInjector, FaultSpec, corrupt_artifact
-from repro.serving.metrics import LatencyRecorder, ServerStats
+from repro.serving.metrics import DrainTracker, LatencyRecorder, ServerStats
 from repro.serving.policies import (
     BreakerState,
     CircuitBreaker,
     RetryPolicy,
     ServerOptions,
+    retry_after_s,
 )
+from repro.serving.registry import FleetEntry, ModelRegistry, materialize_fleet
 from repro.serving.server import ServingServer, serve
 
 __all__ = [
     "MicroBatcher",
+    "FleetBatcher",
     "Request",
     "BatchEngine",
+    "ModelRegistry",
+    "FleetEntry",
+    "materialize_fleet",
     "ServingServer",
     "serve",
     "ServerOptions",
@@ -64,8 +72,12 @@ __all__ = [
     "corrupt_artifact",
     "ServerStats",
     "LatencyRecorder",
+    "DrainTracker",
+    "retry_after_s",
     "ServingError",
     "MalformedRequestError",
+    "ModelNotFoundError",
+    "OverBudgetError",
     "DeadlineExceededError",
     "QueueFullError",
     "CircuitOpenError",

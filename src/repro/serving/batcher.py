@@ -43,6 +43,8 @@ class Request:
     #: Tagged by the fault injector: this request deterministically
     #: crashes any batch containing it (data-dependent kernel fault).
     poisoned: bool = False
+    #: Fleet routing key (``None`` on a single-model server).
+    model: Optional[str] = None
     req_id: int = field(default_factory=lambda: next(_request_ids))
 
     def expired(self, now: float) -> bool:
@@ -137,4 +139,82 @@ class MicroBatcher:
         """Remove and return everything pending (shutdown path)."""
         pending = list(self._pending)
         self._pending.clear()
+        return pending
+
+
+class FleetBatcher:
+    """Per-``(model, input shape)`` micro-batching for the fleet server.
+
+    A tile must be homogeneous — one model, one geometry — because the
+    engine stacks it into a single array and runs it through one
+    session.  Each distinct ``(request.model, request.x.shape)`` pair
+    therefore gets its own :class:`MicroBatcher` lane; lanes are created
+    on first use and dropped when empty, so a fleet of mostly-idle
+    models costs nothing.  The interface mirrors ``MicroBatcher`` — the
+    server's batch loop drives either without caring which.
+    """
+
+    def __init__(self, max_batch: int, max_wait_s: float,
+                 clock: Callable[[], float] = time.monotonic):
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.clock = clock
+        self._lanes: "dict[tuple, MicroBatcher]" = {}
+
+    def __len__(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
+    @property
+    def lanes(self) -> int:
+        return len(self._lanes)
+
+    def _key(self, request: Request) -> tuple:
+        shape = tuple(getattr(request.x, "shape", ()))
+        return (request.model, shape)
+
+    def add(self, request: Request) -> None:
+        key = self._key(request)
+        lane = self._lanes.get(key)
+        if lane is None:
+            lane = self._lanes[key] = MicroBatcher(
+                self.max_batch, self.max_wait_s, clock=self.clock
+            )
+        lane.add(request)
+
+    def next_flush_in(self, now: Optional[float] = None) -> Optional[float]:
+        now = self.clock() if now is None else now
+        delays = [d for d in (lane.next_flush_in(now)
+                              for lane in self._lanes.values())
+                  if d is not None]
+        return min(delays) if delays else None
+
+    def take(self, now: Optional[float] = None,
+             force: bool = False) -> Tuple[List[Request], List[Request]]:
+        """The next due tile across all lanes: ``(batch, expired)``.
+
+        Lanes are polled in insertion order; the first lane with a due
+        tile wins this call (the batch loop calls again immediately, so
+        other due lanes are at most one iteration behind).  Expired
+        requests from *every* polled lane are surfaced.  Empty lanes are
+        garbage-collected as they are encountered.
+        """
+        now = self.clock() if now is None else now
+        expired: List[Request] = []
+        batch: List[Request] = []
+        for key in list(self._lanes):
+            lane = self._lanes[key]
+            got, exp = lane.take(now, force=force)
+            expired.extend(exp)
+            if not len(lane):
+                del self._lanes[key]
+            if got:
+                batch = got
+                break
+        return batch, expired
+
+    def drain(self) -> List[Request]:
+        pending: List[Request] = []
+        for lane in self._lanes.values():
+            pending.extend(lane.drain())
+        self._lanes.clear()
         return pending

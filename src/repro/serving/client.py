@@ -70,10 +70,14 @@ async def request_json(host: str, port: int, method: str, path: str,
 
 async def predict(host: str, port: int, image,
                   deadline_ms: Optional[float] = None,
-                  timeout: float = 30.0) -> Tuple[int, dict]:
-    """One inference request.  ``image`` is a CHW array/nested list."""
+                  timeout: float = 30.0,
+                  model: Optional[str] = None) -> Tuple[int, dict]:
+    """One inference request.  ``image`` is a CHW array/nested list;
+    ``model`` routes between artifacts on a fleet server."""
     payload = {"input": image.tolist() if hasattr(image, "tolist") else image}
     if deadline_ms is not None:
         payload["deadline_ms"] = deadline_ms
+    if model is not None:
+        payload["model"] = model
     return await request_json(host, port, "POST", "/v1/predict", payload,
                               timeout=timeout)

@@ -42,6 +42,8 @@ from repro.serving.errors import (
     BatchExecutionError,
     HungBatchError,
     InjectedFaultError,
+    ModelNotFoundError,
+    OverBudgetError,
 )
 from repro.serving.faults import FaultInjector
 from repro.serving.metrics import ServerStats
@@ -54,8 +56,11 @@ class BatchEngine:
     def __init__(self, session, options: Optional[ServerOptions] = None,
                  faults: Optional[FaultInjector] = None,
                  stats: Optional[ServerStats] = None,
-                 artifact_path=None):
+                 artifact_path=None, registry=None):
+        if session is None and registry is None:
+            raise ValueError("BatchEngine needs a session or a registry")
         self.session = session
+        self.registry = registry
         self.options = options or ServerOptions()
         self.faults = faults
         self.stats = stats or ServerStats()
@@ -66,8 +71,24 @@ class BatchEngine:
             failure_threshold=self.options.circuit_threshold,
             reset_after_s=self.options.circuit_reset_s,
         )
+        # Fleet mode: one breaker per model, created on first use, so a
+        # poisoned model opens its own circuit without shedding its
+        # neighbours.  `self.breaker` doubles as the single-model (and
+        # model=None) breaker for back-compat.
+        self._breakers: dict = {}
         self._executor = self._new_executor()
         self._closed = False
+
+    def breaker_for(self, model: Optional[str]) -> CircuitBreaker:
+        if model is None:
+            return self.breaker
+        breaker = self._breakers.get(model)
+        if breaker is None:
+            breaker = self._breakers[model] = CircuitBreaker(
+                failure_threshold=self.options.circuit_threshold,
+                reset_after_s=self.options.circuit_reset_s,
+            )
+        return breaker
 
     def _new_executor(self) -> concurrent.futures.ThreadPoolExecutor:
         return concurrent.futures.ThreadPoolExecutor(
@@ -83,8 +104,10 @@ class BatchEngine:
     def start(self) -> None:
         """Stand up the worker pool when ``workers > 1`` (blocking —
         spawning + warming N processes takes seconds; the server calls
-        this off the event loop).  Idempotent; a no-op at width 1."""
-        if self.workers <= 1 or self.pool is not None or self._closed:
+        this off the event loop).  Idempotent; a no-op at width 1 and
+        in fleet mode (the registry stands per-model pools itself)."""
+        if (self.workers <= 1 or self.pool is not None or self._closed
+                or self.registry is not None):
             return
         from repro.runtime.pool import PoolOptions, WorkerPool
 
@@ -104,21 +127,28 @@ class BatchEngine:
                                                 faults=self.faults)
             self.pool.start()
 
-    def _run_sync(self, xs: np.ndarray, poisoned: bool) -> np.ndarray:
+    def _run_sync(self, xs: np.ndarray, poisoned: bool,
+                  model: Optional[str]) -> np.ndarray:
         """Executor-thread body: faults first (that is where a real
         kernel would blow up), then the actual inference — in-process,
-        or shipped to a pool worker."""
+        shipped to a pool worker, or routed through the fleet registry
+        (which loads/evicts under its budget right here, off the event
+        loop)."""
         if self.faults:
             self.faults.apply_batch_faults()
         if poisoned:
             raise InjectedFaultError("poisoned request in batch")
+        if self.registry is not None:
+            return np.argmax(self.registry.run(model, xs), axis=1)
         if self.pool is not None:
             return np.argmax(self.pool.run(xs), axis=1)
         return np.argmax(self.session.run(xs), axis=1)
 
-    async def _attempt(self, xs: np.ndarray, poisoned: bool) -> np.ndarray:
+    async def _attempt(self, xs: np.ndarray, poisoned: bool,
+                       model: Optional[str]) -> np.ndarray:
         loop = asyncio.get_running_loop()
-        future = loop.run_in_executor(self._executor, self._run_sync, xs, poisoned)
+        future = loop.run_in_executor(self._executor, self._run_sync, xs,
+                                      poisoned, model)
         try:
             return await asyncio.wait_for(future, self.options.batch_timeout_s)
         except asyncio.TimeoutError:
@@ -134,12 +164,16 @@ class BatchEngine:
                 f"{self.options.batch_timeout_s:.1f}s watchdog"
             ) from None
 
-    async def run_batch(self, xs: np.ndarray,
-                        poisoned: bool = False) -> np.ndarray:
+    async def run_batch(self, xs: np.ndarray, poisoned: bool = False,
+                        model: Optional[str] = None) -> np.ndarray:
         """Run one tile to per-image class predictions, retrying per the
         policy; raises :class:`BatchExecutionError` when retries are
         exhausted.  Does *not* touch the circuit breaker — the server
         records outcomes after degradation has had its say.
+
+        Fleet conditions — unknown model, over budget — are permanent
+        for this request and re-raise untouched (no retry, no 500
+        wrapping): they carry their own HTTP status.
         """
         if self._closed:
             raise BatchExecutionError("engine is closed")
@@ -151,8 +185,10 @@ class BatchEngine:
                 self.stats.retries += 1
                 await asyncio.sleep(delays[attempt - 1])
             try:
-                return await self._attempt(xs, poisoned)
+                return await self._attempt(xs, poisoned, model)
             except asyncio.CancelledError:
+                raise
+            except (ModelNotFoundError, OverBudgetError):
                 raise
             except Exception as exc:
                 last = exc
@@ -171,3 +207,8 @@ class BatchEngine:
             # pool.close() joins dispatcher threads and worker processes
             # — keep that off the event loop.
             await asyncio.get_running_loop().run_in_executor(None, pool.close)
+        if self.registry is not None:
+            # Unmaps every resident model (and joins per-model pools).
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.registry.close
+            )

@@ -58,6 +58,22 @@ class ServerClosingError(ServingError):
     status = 503
 
 
+class ModelNotFoundError(ServingError):
+    """The request named a model the fleet registry does not know.  A
+    permanent condition for this request — no Retry-After."""
+
+    status = 404
+
+
+class OverBudgetError(ServingError):
+    """The named model exists but cannot be made resident: even after
+    evicting every idle model, its flash + Eq. 7 arena cost exceeds the
+    registry's memory budget.  Payload-too-large in spirit — the model,
+    not the request body, is what does not fit."""
+
+    status = 413
+
+
 class BatchExecutionError(ServingError):
     """A batch failed terminally (retries exhausted, or the request was
     quarantined as the poisoner during batch-of-1 degradation)."""

@@ -9,7 +9,9 @@ runs agree exactly).
 
 from __future__ import annotations
 
-from typing import Dict, List
+import time
+from collections import deque
+from typing import Callable, Dict, List
 
 
 class LatencyRecorder:
@@ -52,6 +54,38 @@ class LatencyRecorder:
         }
 
 
+class DrainTracker:
+    """Recent request-completion rate, for backpressure hints.
+
+    Records a timestamp per completed request in a bounded deque and
+    reports completions/second over the trailing ``window_s``.  Feeds
+    :func:`repro.serving.policies.retry_after_s` so a shed client's
+    Retry-After reflects how fast the queue is actually draining rather
+    than a constant.
+    """
+
+    def __init__(self, window_s: float = 10.0, cap: int = 4096,
+                 clock: Callable[[], float] = time.monotonic):
+        self.window_s = float(window_s)
+        self.clock = clock
+        self._marks: deque = deque(maxlen=int(cap))
+
+    def mark(self) -> None:
+        self._marks.append(self.clock())
+
+    def rate(self) -> float:
+        """Completions per second over the trailing window (0.0 when
+        nothing has completed recently)."""
+        now = self.clock()
+        horizon = now - self.window_s
+        while self._marks and self._marks[0] < horizon:
+            self._marks.popleft()
+        if not self._marks:
+            return 0.0
+        span = max(now - self._marks[0], 1e-9)
+        return len(self._marks) / span
+
+
 class ServerStats:
     """Outcome counters + end-to-end latency for one server instance.
 
@@ -75,6 +109,9 @@ class ServerStats:
         self.degraded_batches = 0
         self.hung_batches = 0
         self.breaker_opens = 0
+        # Fleet-mode outcomes (zero and invisible for single-model servers).
+        self.unknown_model = 0
+        self.over_budget = 0
 
     def observe_batch(self, size: int) -> None:
         self.batches += 1
@@ -91,6 +128,8 @@ class ServerStats:
                 "deadline_dropped": self.deadline_dropped,
                 "failed": self.failed,
                 "quarantined": self.quarantined,
+                "unknown_model": self.unknown_model,
+                "over_budget": self.over_budget,
             },
             "batches": {
                 "count": self.batches,

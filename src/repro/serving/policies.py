@@ -9,6 +9,7 @@ scale), and the circuit breaker is a plain three-state machine.
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
 from dataclasses import dataclass, field
 from enum import Enum
@@ -38,6 +39,24 @@ class RetryPolicy:
     def delays(self) -> Iterator[float]:
         for i in range(self.attempts):
             yield min(self.base_delay_s * self.factor ** i, self.max_delay_s)
+
+
+def retry_after_s(queue_depth: int, drain_rate: float,
+                  lo: int = 1, hi: int = 30) -> int:
+    """Seconds a shed client should wait before retrying.
+
+    Estimated time to drain the current backlog at the recently
+    observed completion rate (``ceil(depth / rate)``), clamped to
+    ``[lo, hi]``.  With no observed drain (cold start, or the breaker
+    tripped and nothing is completing) a non-empty backlog earns the
+    pessimistic ``hi`` and an empty one the optimistic ``lo`` — a
+    hardcoded constant under-backs-off exactly when the server is most
+    loaded.
+    """
+    depth = max(0, int(queue_depth))
+    if drain_rate <= 0.0:
+        return hi if depth > 0 else lo
+    return max(lo, min(hi, math.ceil(depth / drain_rate)))
 
 
 class BreakerState(str, Enum):

@@ -23,6 +23,8 @@ Failure policy (the README table restates this mapping):
 failure                policy                                    status
 ====================  =========================================  ======
 malformed payload      reject at parse/validate, stay live        400
+unknown fleet model    reject at admission (permanent)            404
+model over budget      cannot be made resident even after LRU     413
 deadline passed        drop before batching, never infer          504
 queue at depth         shed with ``Retry-After`` (backpressure)   503
 circuit open           shed until half-open probe succeeds        503
@@ -45,24 +47,27 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.runtime.errors import InvalidInputError
-from repro.serving.batcher import MicroBatcher, Request
+from repro.serving.batcher import FleetBatcher, MicroBatcher, Request
 from repro.serving.engine import BatchEngine
 from repro.serving.errors import (
     BatchExecutionError,
     CircuitOpenError,
     DeadlineExceededError,
     MalformedRequestError,
+    ModelNotFoundError,
+    OverBudgetError,
     QueueFullError,
     ServerClosingError,
     ServingError,
 )
 from repro.serving.faults import FaultInjector
-from repro.serving.metrics import ServerStats
-from repro.serving.policies import BreakerState, ServerOptions
+from repro.serving.metrics import DrainTracker, ServerStats
+from repro.serving.policies import BreakerState, ServerOptions, retry_after_s
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 500: "Internal Server Error",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error",
     503: "Service Unavailable", 504: "Gateway Timeout",
 }
 _MAX_HEADER_BYTES = 16 * 1024
@@ -72,21 +77,38 @@ class ServingServer:
     """The micro-batching HTTP front end; stdlib asyncio only.
 
     Endpoints: ``POST /v1/predict`` (body ``{"input": CHW-nested-list,
-    "deadline_ms": float?}``), ``GET /healthz``, ``GET /stats``.
+    "deadline_ms": float?, "model": str?}``), ``GET /healthz``,
+    ``GET /stats``.  ``model`` routes between fleet artifacts when the
+    server was built over a
+    :class:`~repro.serving.registry.ModelRegistry`; a single-model
+    server ignores it.
     """
 
-    def __init__(self, session, options: Optional[ServerOptions] = None,
+    def __init__(self, session=None, options: Optional[ServerOptions] = None,
                  faults: Optional[FaultInjector] = None,
-                 artifact_path=None):
+                 artifact_path=None, registry=None,
+                 default_model: Optional[str] = None):
+        if session is None and registry is None:
+            raise ValueError("ServingServer needs a session or a registry")
         self.session = session
+        self.registry = registry
+        self.default_model = default_model
         self.options = options or ServerOptions()
         self.faults = faults
         self.stats = ServerStats()
+        self.drain = DrainTracker()
         self.engine = BatchEngine(session, self.options, faults=faults,
                                   stats=self.stats,
-                                  artifact_path=artifact_path)
-        self.batcher = MicroBatcher(self.options.max_batch,
-                                    self.options.max_wait_ms / 1e3)
+                                  artifact_path=artifact_path,
+                                  registry=registry)
+        if registry is not None:
+            # Tiles must be homogeneous per (model, shape); the fleet
+            # batcher keeps one lane per pair.
+            self.batcher = FleetBatcher(self.options.max_batch,
+                                        self.options.max_wait_ms / 1e3)
+        else:
+            self.batcher = MicroBatcher(self.options.max_batch,
+                                        self.options.max_wait_ms / 1e3)
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop_task: Optional[asyncio.Task] = None
         self._wakeup = asyncio.Event()
@@ -112,7 +134,7 @@ class ServingServer:
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self.engine.start)
         self._startup_health = await loop.run_in_executor(
-            None, self.session.healthcheck
+            None, self._startup_check
         )
         self._server = await asyncio.start_server(
             self._handle_connection, self.options.host, self.options.port
@@ -122,6 +144,24 @@ class ServingServer:
         self._loop_task = asyncio.create_task(self._batch_loop(),
                                               name="repro-batch-loop")
         return self.host, self.port
+
+    def _startup_check(self) -> dict:
+        """Blocking warmup probe (runs off the event loop).
+
+        Single-model: the session's own healthcheck.  Fleet: warm the
+        default model (when one is named) so the first request does not
+        pay its load, and report the fleet shape; an empty registry or a
+        default that cannot fit the budget is a startup failure."""
+        if self.registry is None:
+            return self.session.healthcheck()
+        report = {"ok": True, "fleet": self.registry.stats()["models_known"]}
+        if self.default_model is not None:
+            try:
+                self.registry.warm([self.default_model])
+                report["warmed"] = self.default_model
+            except ServingError as exc:
+                return {"ok": False, "error": str(exc)}
+        return report
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, fail everything pending
@@ -172,10 +212,21 @@ class ServingServer:
             latency = time.monotonic() - request.enqueued_at
             self.stats.completed += 1
             self.stats.latency.observe(latency)
-            request.future.set_result({
+            self.drain.mark()
+            result = {
                 "prediction": int(prediction),
                 "latency_ms": round(latency * 1e3, 3),
-            })
+            }
+            if request.model is not None:
+                result["model"] = request.model
+            request.future.set_result(result)
+
+    def _retry_after(self) -> str:
+        """Backpressure hint for 503s: estimated seconds to drain the
+        current backlog at the recently observed completion rate,
+        clamped to [1, 30]."""
+        depth = len(self.batcher) + self._inflight_count()
+        return str(retry_after_s(depth, self.drain.rate()))
 
     def _fail_expired(self, expired: List[Request]) -> None:
         for r in expired:
@@ -227,15 +278,17 @@ class ServingServer:
         finally:
             self._inflight.pop(id(batch), None)
 
-    def _record_breaker(self, success: bool) -> None:
-        breaker = self.engine.breaker
+    def _record_breaker(self, success: bool,
+                        model: Optional[str] = None) -> None:
+        breaker = self.engine.breaker_for(model)
         before = breaker.state
         breaker.record_success() if success else breaker.record_failure()
         if breaker.state is BreakerState.OPEN and before is not BreakerState.OPEN:
             self.stats.breaker_opens += 1
 
     async def _process_batch(self, batch: List[Request]) -> None:
-        if not self.engine.breaker.allow():
+        model = batch[0].model  # tiles are homogeneous by construction
+        if not self.engine.breaker_for(model).allow():
             for r in batch:
                 if self._fail(r, CircuitOpenError("circuit opened while queued")):
                     self.stats.shed_circuit += 1
@@ -243,12 +296,22 @@ class ServingServer:
         xs = np.stack([r.x for r in batch])
         try:
             preds = await self.engine.run_batch(
-                xs, poisoned=any(r.poisoned for r in batch)
+                xs, poisoned=any(r.poisoned for r in batch), model=model
             )
+        except (ModelNotFoundError, OverBudgetError) as exc:
+            # Permanent for this model right now — not a health signal,
+            # so the breaker is left alone.
+            counter = ("unknown_model" if isinstance(exc, ModelNotFoundError)
+                       else "over_budget")
+            for r in batch:
+                if self._fail(r, exc):
+                    setattr(self.stats, counter,
+                            getattr(self.stats, counter) + 1)
+            return
         except BatchExecutionError as exc:
             await self._degrade(batch, exc)
             return
-        self._record_breaker(success=True)
+        self._record_breaker(success=True, model=model)
         for r, p in zip(batch, preds):
             self._resolve(r, p)
 
@@ -258,11 +321,12 @@ class ServingServer:
         the poisoning request(s): innocents still get answers, poisoners
         are quarantined with a 500, and the breaker only counts the tile
         as a failure if *nothing* in it could be served."""
+        model = batch[0].model
         if not self.options.degrade or len(batch) == 1:
             for r in batch:
                 if self._fail(r, exc):
                     self.stats.failed += 1
-            self._record_breaker(success=False)
+            self._record_breaker(success=False, model=model)
             return
         self.stats.degraded_batches += 1
         successes = 0
@@ -272,7 +336,8 @@ class ServingServer:
                 continue
             try:
                 preds = await self.engine.run_batch(r.x[None],
-                                                    poisoned=r.poisoned)
+                                                    poisoned=r.poisoned,
+                                                    model=r.model)
             except BatchExecutionError as single_exc:
                 if self._fail(r, BatchExecutionError(
                         f"request quarantined as batch poisoner: {single_exc}")):
@@ -280,7 +345,7 @@ class ServingServer:
                 continue
             self._resolve(r, preds[0])
             successes += 1
-        self._record_breaker(success=successes > 0)
+        self._record_breaker(success=successes > 0, model=model)
 
     # -- HTTP ----------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
@@ -364,6 +429,14 @@ class ServingServer:
                 "alive": pool.alive_workers(),
                 "restarts": pool.restarts,
             }
+        if self.registry is not None:
+            reg = self.registry.stats()
+            payload["fleet"] = {
+                "models_known": reg["models_known"],
+                "models_resident": reg["models_resident"],
+                "resident_bytes": reg["resident_bytes"],
+                "budget_bytes": reg["budget_bytes"],
+            }
         return (200 if ok else 503), payload, {}
 
     def _stats_payload(self) -> dict:
@@ -373,6 +446,12 @@ class ServingServer:
         payload["inflight"] = self._inflight_count()
         if self.engine.pool is not None:
             payload["pool"] = self.engine.pool.stats()
+        if self.registry is not None:
+            payload["registry"] = self.registry.stats()
+            payload["circuits"] = {
+                name: self.engine.breaker_for(name).state.value
+                for name in self.engine._breakers
+            }
         if self.faults:
             payload["faults"] = self.faults.summary()
         return payload
@@ -384,13 +463,14 @@ class ServingServer:
             headers = {}
             if isinstance(exc, (QueueFullError, CircuitOpenError,
                                 ServerClosingError)):
-                headers["Retry-After"] = "1"
+                headers["Retry-After"] = self._retry_after()
             return exc.status, exc.payload(), headers
         self._wakeup.set()
         try:
             result = await request.future
         except ServingError as exc:
-            headers = {"Retry-After": "1"} if exc.status == 503 else {}
+            headers = ({"Retry-After": self._retry_after()}
+                       if exc.status == 503 else {})
             return exc.status, exc.payload(), headers
         return 200, result, {}
 
@@ -417,13 +497,39 @@ class ServingServer:
             raise MalformedRequestError(
                 f"input must be one CHW image (3 dims), got shape {x.shape}"
             )
-        try:
-            self.session.validate_input(x[None])
-        except InvalidInputError as exc:
-            self.stats.malformed += 1
-            raise MalformedRequestError(str(exc)) from exc
+        model: Optional[str] = None
+        if self.registry is not None:
+            model = payload.get("model", self.default_model)
+            if model is None:
+                self.stats.malformed += 1
+                raise MalformedRequestError(
+                    'fleet server requires "model" (no default configured)'
+                )
+            if not isinstance(model, str):
+                self.stats.malformed += 1
+                raise MalformedRequestError(
+                    f'"model" must be a string, got {type(model).__name__}'
+                )
+            if model not in self.registry:
+                self.stats.unknown_model += 1
+                raise ModelNotFoundError(
+                    f"unknown model {model!r}; fleet has {self.registry.models}"
+                )
+            try:
+                # Cold models validate against manifest metadata only —
+                # loading happens off the event loop, at batch time.
+                self.registry.validate_input(model, x[None])
+            except InvalidInputError as exc:
+                self.stats.malformed += 1
+                raise MalformedRequestError(str(exc)) from exc
+        else:
+            try:
+                self.session.validate_input(x[None])
+            except InvalidInputError as exc:
+                self.stats.malformed += 1
+                raise MalformedRequestError(str(exc)) from exc
 
-        if self.engine.breaker.state is BreakerState.OPEN:
+        if self.engine.breaker_for(model).state is BreakerState.OPEN:
             self.stats.shed_circuit += 1
             raise CircuitOpenError("circuit is open; retry later")
         depth = len(self.batcher) + self._inflight_count()
@@ -445,7 +551,7 @@ class ServingServer:
             ) from None
         deadline = now + deadline_ms / 1e3 if deadline_ms > 0 else None
         request = Request(
-            x=x, enqueued_at=now, deadline=deadline,
+            x=x, enqueued_at=now, deadline=deadline, model=model,
             future=asyncio.get_running_loop().create_future(),
         )
         if self.faults and self.faults.fire("poison") is not None:
@@ -468,22 +574,31 @@ class ServingServer:
         await writer.drain()
 
 
-def serve(session, options: Optional[ServerOptions] = None,
+def serve(session=None, options: Optional[ServerOptions] = None,
           faults: Optional[FaultInjector] = None,
           ttl_s: Optional[float] = None,
-          announce=print, artifact_path=None) -> None:
+          announce=print, artifact_path=None, registry=None,
+          default_model: Optional[str] = None) -> None:
     """Blocking convenience entry point (the ``repro-mcu serve`` body):
     start, announce the bound address, serve until Ctrl-C or ``ttl_s``,
     shut down cleanly.  ``artifact_path`` lets a ``--workers N`` pool
-    mmap the artifact already on disk instead of staging a copy."""
+    mmap the artifact already on disk instead of staging a copy.
+    ``registry`` switches to fleet mode (``repro-mcu serve --fleet``):
+    requests route by their ``"model"`` field through a
+    :class:`~repro.serving.registry.ModelRegistry` instead of one
+    session."""
 
     async def _main():
         server = ServingServer(session, options=options, faults=faults,
-                               artifact_path=artifact_path)
+                               artifact_path=artifact_path,
+                               registry=registry,
+                               default_model=default_model)
         host, port = await server.start()
         if announce is not None:
+            fleet = (f"fleet={len(registry.models)} models, "
+                     if registry is not None else "")
             announce(f"serving on http://{host}:{port} "
-                     f"(workers={server.engine.workers}, "
+                     f"({fleet}workers={server.engine.workers}, "
                      f"max_batch={server.options.max_batch}, "
                      f"queue_depth={server.options.queue_depth}) — Ctrl-C to stop")
         try:

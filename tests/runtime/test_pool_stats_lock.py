@@ -1,0 +1,85 @@
+"""Regression: ``WorkerPool.stats()`` must snapshot under the pool lock.
+
+The bug: every other accessor that touches the dispatcher-shared state
+(``queue_depths``, the dispatch loop, the restart path) takes
+``self._lock``, but ``stats()`` read the counters and per-worker handles
+lock-free — a snapshot taken mid-restart could count one batch both in
+a queue and in a worker's ``served`` tally, or see a handle half-reset.
+These tests pin the locking contract with an instrumented Condition.
+"""
+
+import threading
+
+import pytest
+
+from repro.runtime.pool import PoolOptions, WorkerPool
+
+
+class _RecordingCondition(threading.Condition):
+    """A Condition that records whether it is held during a probe."""
+
+    def __init__(self):
+        super().__init__()
+        self.acquisitions = 0
+
+    def __enter__(self):
+        result = super().__enter__()
+        self.acquisitions += 1
+        return result
+
+
+@pytest.fixture()
+def pool(tmp_path):
+    # Never started: __init__ fully builds the stats-visible state, and
+    # an unstarted pool exercises the same code path without spawning
+    # processes.
+    p = WorkerPool(tmp_path / "artifact", PoolOptions(workers=3))
+    p._lock = _RecordingCondition()
+    return p
+
+
+def test_stats_takes_the_pool_lock(pool):
+    before = pool._lock.acquisitions
+    pool.stats()
+    assert pool._lock.acquisitions > before
+
+
+def test_stats_holds_lock_while_reading_counters(pool):
+    """Stronger than 'acquired at some point': the whole snapshot —
+    including the per-worker rows — happens inside one outer hold."""
+    held_during_read = []
+    lock = pool._lock
+
+    class _Probe:
+        served = 0
+        restarts = 0
+        stolen = 0
+        worker_id = 0
+        pid = None
+        alive = False
+        state = "starting"
+
+        def __getattribute__(self, name):
+            if name in ("served", "stolen"):
+                # _is_owned() is Condition's own "does this thread hold
+                # the lock" probe.
+                held_during_read.append(lock._is_owned())
+            return object.__getattribute__(self, name)
+
+    pool._workers = [_Probe()]
+    pool.stats()
+    assert held_during_read and all(held_during_read)
+
+
+def test_stats_consistent_with_queue_depths(pool):
+    snapshot = pool.stats()
+    assert snapshot["queue_depths"] == [0, 0, 0]
+    assert snapshot["workers"] == 3
+    assert snapshot["served"] == 0
+    assert len(snapshot["per_worker"]) == len(pool._workers)
+
+
+def test_queue_depths_still_locks(pool):
+    before = pool._lock.acquisitions
+    pool.queue_depths()
+    assert pool._lock.acquisitions > before

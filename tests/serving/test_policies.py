@@ -108,3 +108,59 @@ class TestServerOptions:
 
     def test_replace(self):
         assert ServerOptions().replace(max_batch=2).max_batch == 2
+
+
+class TestRetryAfter:
+    """The Retry-After fix: derived from queue depth and drain rate
+    instead of the old hardcoded ``1``."""
+
+    def test_estimates_drain_time(self):
+        from repro.serving.policies import retry_after_s
+
+        # 40 queued, draining 10/s -> 4 seconds.
+        assert retry_after_s(40, 10.0) == 4
+
+    def test_rounds_up(self):
+        from repro.serving.policies import retry_after_s
+
+        assert retry_after_s(25, 10.0) == 3
+
+    def test_clamped_to_bounds(self):
+        from repro.serving.policies import retry_after_s
+
+        assert retry_after_s(1, 1000.0) == 1       # floor
+        assert retry_after_s(10_000, 0.5) == 30     # ceiling
+
+    def test_no_drain_observed(self):
+        from repro.serving.policies import retry_after_s
+
+        # Backlog but nothing completing: worst case, not best case.
+        assert retry_after_s(10, 0.0) == 30
+        # Nothing queued either (cold start): optimistic floor.
+        assert retry_after_s(0, 0.0) == 1
+
+
+class TestDrainTracker:
+    def test_rate_over_window(self):
+        from repro.serving.metrics import DrainTracker
+
+        clock = FakeClock()
+        tracker = DrainTracker(window_s=10.0, clock=clock)
+        for _ in range(20):
+            clock.advance(0.5)
+            tracker.mark()
+        assert tracker.rate() == pytest.approx(20 / 9.5, rel=0.01)
+
+    def test_stale_marks_age_out(self):
+        from repro.serving.metrics import DrainTracker
+
+        clock = FakeClock()
+        tracker = DrainTracker(window_s=10.0, clock=clock)
+        tracker.mark()
+        clock.advance(60.0)
+        assert tracker.rate() == 0.0
+
+    def test_empty_tracker(self):
+        from repro.serving.metrics import DrainTracker
+
+        assert DrainTracker().rate() == 0.0

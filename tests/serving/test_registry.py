@@ -1,0 +1,281 @@
+"""Fleet serving: the artifact registry, LRU eviction under a budget,
+and model routing on the HTTP front end.
+
+The fleet fixture is three zoo configs (32/64/96 at width 0.25) served
+by one process under a budget that holds two of them — so mixed-model
+traffic *must* exercise lazy load, LRU eviction, and reload, and the
+tests assert those transitions in ``/stats`` rather than hoping for
+them.  Responses are checked bit-identical to a dedicated single-model
+session: residency churn may never change an answer.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ModelNotFoundError,
+    ModelRegistry,
+    OverBudgetError,
+    ServerOptions,
+    ServingServer,
+    materialize_fleet,
+)
+from repro.serving.client import predict, request_json
+
+CONFIGS = [(32, 0.25), (64, 0.25), (96, 0.25)]
+
+
+@pytest.fixture(scope="module")
+def fleet_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("fleet")
+    materialize_fleet(root, CONFIGS, num_classes=5)
+    return root
+
+
+@pytest.fixture(scope="module")
+def costs(fleet_dir):
+    with ModelRegistry.from_directory(fleet_dir) as registry:
+        return {m: registry.entry(m).cost_bytes() for m in registry.models}
+
+
+def _two_of_three_budget(costs):
+    """Admits any two fleet members at once but never all three."""
+    ordered = sorted(costs.values())
+    budget = ordered[-1] + ordered[-2] + 1024
+    assert budget < sum(ordered)
+    return budget
+
+
+def _image(model, seed=21):
+    resolution = int(model.split("x")[0])
+    return np.random.default_rng(seed).uniform(
+        0.0, 1.0, size=(3, resolution, resolution)
+    )
+
+
+class TestRegistry:
+    def test_scan_and_lazy_load(self, fleet_dir):
+        with ModelRegistry.from_directory(fleet_dir) as registry:
+            assert registry.models == ["32x0.25", "64x0.25", "96x0.25"]
+            assert registry.stats()["models_resident"] == 0  # all cold
+            registry.run("32x0.25", _image("32x0.25")[None])
+            stats = registry.stats()
+            assert stats["models_resident"] == 1
+            assert stats["models"]["32x0.25"]["resident"]
+
+    def test_lru_eviction_and_reload(self, fleet_dir, costs):
+        budget = _two_of_three_budget(costs)
+        with ModelRegistry.from_directory(
+                fleet_dir, memory_budget_bytes=budget) as registry:
+            for model in registry.models:  # third load must evict the LRU
+                registry.run(model, _image(model)[None])
+            stats = registry.stats()
+            assert stats["evictions"] >= 1
+            assert not stats["models"]["32x0.25"]["resident"]  # the LRU
+            assert stats["resident_bytes"] <= budget
+            # Reload after eviction: lazy, transparent, counted.
+            registry.run("32x0.25", _image("32x0.25")[None])
+            assert registry.stats()["models"]["32x0.25"]["loads"] == 2
+
+    def test_eviction_never_changes_answers(self, fleet_dir, costs):
+        """Bit-parity across residency churn: every model answers
+        identically to a dedicated session, before and after being
+        evicted and reloaded."""
+        from repro.runtime import Session
+
+        budget = _two_of_three_budget(costs)
+        with ModelRegistry.from_directory(
+                fleet_dir, memory_budget_bytes=budget) as registry:
+            dedicated = {
+                m: Session.load(fleet_dir / m).run(_image(m)[None])
+                for m in registry.models
+            }
+            for sweep in range(2):  # second sweep hits reloaded models
+                for m in registry.models:
+                    np.testing.assert_array_equal(
+                        registry.run(m, _image(m)[None]), dedicated[m]
+                    )
+            assert registry.stats()["evictions"] >= 2
+
+    def test_over_budget_is_typed(self, fleet_dir, costs):
+        budget = min(costs.values()) // 2
+        with ModelRegistry.from_directory(
+                fleet_dir, memory_budget_bytes=budget) as registry:
+            with pytest.raises(OverBudgetError, match="budget"):
+                registry.run("32x0.25", _image("32x0.25")[None])
+            assert registry.stats()["models_resident"] == 0  # no leak
+
+    def test_unknown_model_is_typed(self, fleet_dir):
+        with ModelRegistry.from_directory(fleet_dir) as registry:
+            with pytest.raises(ModelNotFoundError, match="ghost"):
+                registry.run("ghost", _image("32x0.25")[None])
+
+    def test_inflight_models_are_not_evictable(self, fleet_dir, costs):
+        budget = _two_of_three_budget(costs)
+        with ModelRegistry.from_directory(
+                fleet_dir, memory_budget_bytes=budget) as registry:
+            pinned = [registry.checkout("64x0.25"),
+                      registry.checkout("96x0.25")]
+            # Both resident models busy: the third cannot evict anyone.
+            with pytest.raises(OverBudgetError):
+                registry.checkout("32x0.25")
+            for entry in pinned:
+                registry.release(entry)
+            registry.run("32x0.25", _image("32x0.25")[None])  # now fits
+
+    def test_polymorphic_routing_inside_one_model(self, fleet_dir):
+        """A smaller geometry runs inside the model's max arena and
+        matches a dedicated session exactly."""
+        from repro.runtime import Session
+
+        with ModelRegistry.from_directory(fleet_dir) as registry:
+            x = np.random.default_rng(5).uniform(0.0, 1.0, (1, 3, 64, 64))
+            out = registry.run("96x0.25", x)
+            np.testing.assert_array_equal(
+                out, Session.load(fleet_dir / "96x0.25").run(x)
+            )
+            arena = registry.entry("96x0.25").session.plan.arena_for((64, 64))
+            assert arena.shares_slabs
+
+    def test_eviction_unmaps_blobs(self, fleet_dir, costs):
+        import pathlib
+
+        smaps = pathlib.Path("/proc/self/smaps")
+        if not smaps.exists():
+            pytest.skip("no /proc/self/smaps on this platform")
+        budget = _two_of_three_budget(costs)
+        with ModelRegistry.from_directory(
+                fleet_dir, memory_budget_bytes=budget) as registry:
+            registry.run("32x0.25", _image("32x0.25")[None])
+            blob = str((fleet_dir / "32x0.25" / "blobs.bin").resolve())
+            assert blob in smaps.read_text()
+            for m in ("64x0.25", "96x0.25"):  # crowd the first one out
+                registry.run(m, _image(m)[None])
+            assert not registry.entry("32x0.25").resident
+            assert blob not in smaps.read_text()
+
+
+class TestFleetServer:
+    def _scenario(self, fleet_dir, budget, body, server_kwargs=None):
+        async def _main():
+            registry = ModelRegistry.from_directory(
+                fleet_dir, memory_budget_bytes=budget
+            )
+            server = ServingServer(
+                registry=registry,
+                options=ServerOptions(port=0, max_wait_ms=2.0),
+                **(server_kwargs or {}),
+            )
+            host, port = await server.start()
+            try:
+                await body(server, registry, host, port)
+            finally:
+                await server.stop()
+
+        asyncio.run(_main())
+
+    def test_mixed_traffic_evicts_reloads_and_stays_exact(
+            self, fleet_dir, costs):
+        from repro.runtime import Session
+
+        dedicated = {
+            m: int(np.argmax(Session.load(fleet_dir / m).run(_image(m)[None])))
+            for m in ("32x0.25", "64x0.25", "96x0.25")
+        }
+
+        async def body(server, registry, host, port):
+            for sweep in range(2):
+                for model, expected in dedicated.items():
+                    status, reply = await predict(host, port, _image(model),
+                                                  model=model)
+                    assert status == 200, reply
+                    assert reply["model"] == model
+                    assert reply["prediction"] == expected
+            status, stats = await request_json(host, port, "GET", "/stats")
+            assert status == 200
+            reg = stats["registry"]
+            assert reg["evictions"] >= 1  # LRU observed via /stats
+            assert reg["loads"] > reg["models_known"]  # lazy reload observed
+            assert reg["resident_bytes"] <= reg["budget_bytes"]
+
+        self._scenario(fleet_dir, _two_of_three_budget(costs), body)
+
+    def test_unknown_model_is_404(self, fleet_dir, costs):
+        async def body(server, registry, host, port):
+            status, reply = await predict(host, port, _image("32x0.25"),
+                                          model="ghost")
+            assert status == 404
+            assert reply["error"] == "ModelNotFoundError"
+            assert server.stats.unknown_model == 1
+
+        self._scenario(fleet_dir, _two_of_three_budget(costs), body)
+
+    def test_over_budget_load_is_413(self, fleet_dir, costs):
+        async def body(server, registry, host, port):
+            status, reply = await predict(host, port, _image("96x0.25"),
+                                          model="96x0.25")
+            assert status == 413
+            assert reply["error"] == "OverBudgetError"
+            assert server.stats.over_budget == 1
+            # The tier survives: a model that fits still answers.
+            status, _ = await predict(host, port, _image("32x0.25"),
+                                      model="32x0.25")
+            assert status == 200
+
+        # Budget fits the smallest model only.
+        self._scenario(fleet_dir, min(costs.values()) + 1024, body)
+
+    def test_default_model_and_warm_start(self, fleet_dir, costs):
+        async def body(server, registry, host, port):
+            assert registry.entry("64x0.25").resident  # warmed at startup
+            status, reply = await predict(host, port, _image("64x0.25"))
+            assert status == 200 and reply["model"] == "64x0.25"
+            status, health = await request_json(host, port, "GET", "/healthz")
+            assert status == 200
+            assert health["fleet"]["models_known"] == 3
+            assert health["startup"]["warmed"] == "64x0.25"
+
+        self._scenario(fleet_dir, _two_of_three_budget(costs), body,
+                       server_kwargs={"default_model": "64x0.25"})
+
+    def test_missing_model_without_default_is_400(self, fleet_dir, costs):
+        async def body(server, registry, host, port):
+            status, reply = await predict(host, port, _image("32x0.25"))
+            assert status == 400
+            assert "model" in reply["detail"]
+
+        self._scenario(fleet_dir, _two_of_three_budget(costs), body)
+
+    def test_over_max_geometry_is_400_not_a_load(self, fleet_dir, costs):
+        async def body(server, registry, host, port):
+            status, reply = await predict(host, port, _image("96x0.25"),
+                                          model="32x0.25")
+            assert status == 400
+            assert "max geometry" in reply["detail"]
+            # Rejected at admission — the model was never loaded.
+            assert not registry.entry("32x0.25").resident
+
+        self._scenario(fleet_dir, _two_of_three_budget(costs), body)
+
+    def test_single_model_serve_unchanged(self, tiny_session, image):
+        """Migration guarantee: a session-backed server neither requires
+        nor is confused by the fleet fields."""
+
+        async def _main():
+            server = ServingServer(tiny_session,
+                                   options=ServerOptions(port=0))
+            host, port = await server.start()
+            try:
+                status, reply = await predict(host, port, image)
+                assert status == 200 and "model" not in reply
+                # A stray "model" field on a single-model server is
+                # ignored, exactly as before fleets existed.
+                status, reply = await predict(host, port, image,
+                                              model="whatever")
+                assert status == 200
+            finally:
+                await server.stop()
+
+        asyncio.run(_main())
