@@ -8,7 +8,6 @@ benchmark itself times the graph conversion plus integer inference, which
 is the deployment-time cost a user pays repeatedly.
 """
 
-import numpy as np
 import pytest
 
 import repro

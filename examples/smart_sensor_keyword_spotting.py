@@ -25,7 +25,7 @@ import numpy as np
 import repro
 from repro.core.graph_convert import convert_to_integer_network
 from repro.core.memory_model import MemoryModel
-from repro.core.policy import QuantMethod, QuantPolicy
+from repro.core.policy import QuantMethod
 from repro.data import make_synthetic_classification
 from repro.inference.export import deployment_size_bytes
 from repro.mcu.latency import network_cycles

@@ -1,0 +1,35 @@
+"""Static analysis for the repro engine: plan verification + repo lint.
+
+Two halves, both reachable from ``repro-mcu check``:
+
+* :mod:`repro.analysis.verify` — prove a compiled
+  :class:`~repro.inference.plan.ExecutionPlan` (or a saved artifact)
+  safe without executing it: accumulator bounds vs. dispatched backend,
+  container-dtype soundness, requantization shift ranges, and arena
+  slab lifetime/aliasing over the ping-pong schedule.
+* :mod:`repro.analysis.lint` — AST rules for the repo itself: no
+  blocking calls in the asyncio serving tier, no allocations in ``# hot``
+  kernels, no silent broad excepts, consistent lock acquisition order,
+  unused imports, mutable default arguments.
+"""
+
+from repro.analysis.lint import LintViolation, lint_file, lint_package, lint_paths
+from repro.analysis.verify import (
+    PlanVerificationError,
+    VerificationReport,
+    Violation,
+    verify_artifact,
+    verify_plan,
+)
+
+__all__ = [
+    "LintViolation",
+    "PlanVerificationError",
+    "VerificationReport",
+    "Violation",
+    "lint_file",
+    "lint_package",
+    "lint_paths",
+    "verify_artifact",
+    "verify_plan",
+]

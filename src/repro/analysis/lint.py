@@ -1,0 +1,420 @@
+"""AST-based repo lint: concurrency and hot-path discipline as code.
+
+Rules (each diagnostic carries its rule name; a trailing
+``# analysis: ignore[rule]`` — or a bare ``# analysis: ignore`` — on the
+flagged line exempts it):
+
+``async-blocking``
+    No blocking calls inside ``async def`` in ``repro/serving/``:
+    ``time.sleep``, synchronous socket/file I/O (``socket.*``, builtin
+    ``open``, ``requests``/``urllib``/``subprocess``), and
+    ``...().result()`` — a blocked event loop stalls every request.
+``hot-alloc``
+    No allocation-shaped numpy calls inside hot-path functions (a
+    ``# hot`` marker on or directly above the ``def``) of
+    ``kernels.py``/``plan.py``: ``np.zeros``/``np.empty``/
+    ``np.concatenate``/friends, ``.astype`` without ``copy=False``, and
+    bare ``.copy()`` — the arena exists so steady-state inference
+    allocates nothing.
+``except-swallow``
+    No bare ``except:`` and no ``except Exception``/``BaseException``
+    whose body neither re-raises, nor logs, nor does anything at all
+    (``pass``/``continue``/docstring only) — silent swallows hide real
+    faults; narrow the type or record the drop.
+``lock-order``
+    Lock-acquisition-order consistency: if one function nests
+    ``with a: with b:`` and another nests ``with b: with a:``, the two
+    orders deadlock under contention.  Re-acquiring the same lock
+    object inside itself is flagged too.
+``unused-import``
+    Module-level imports that are never referenced.
+``mutable-default``
+    Mutable default arguments (list/dict/set literals or constructors).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = ["LintViolation", "lint_file", "lint_package", "lint_paths"]
+
+_IGNORE_RE = re.compile(r"#\s*analysis:\s*ignore(?:\[([a-z0-9_,\- ]+)\])?")
+_HOT_RE = re.compile(r"#\s*hot\b")
+_LOCK_NAME_RE = re.compile(r"(?i)(lock|cond|mutex)")
+
+#: Call roots that block the event loop when awaited around (async rule).
+_BLOCKING_ROOTS = ("socket", "requests", "subprocess", "urllib")
+
+#: numpy allocators that materialise fresh buffers (hot-path rule).
+_NP_ALLOCATORS = {
+    "zeros", "empty", "ones", "full", "zeros_like", "empty_like",
+    "ones_like", "full_like", "concatenate", "stack", "vstack", "hstack",
+    "pad", "copy", "array", "ascontiguousarray", "asfortranarray",
+    "arange", "tile", "repeat",
+}
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One lint finding, pinned to a rule, file and line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _ignored_rules(source_lines: Sequence[str], lineno: int) -> Optional[Set[str]]:
+    """Rules exempted on ``lineno`` (1-based); ``set()`` means all rules."""
+    if not 1 <= lineno <= len(source_lines):
+        return None
+    m = _IGNORE_RE.search(source_lines[lineno - 1])
+    if m is None:
+        return None
+    if m.group(1) is None:
+        return set()  # bare ignore: everything
+    return {r.strip() for r in m.group(1).split(",") if r.strip()}
+
+
+def _call_root(node: ast.expr) -> Optional[str]:
+    """Leftmost name of a dotted call target (``a.b.c()`` -> ``a``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """Full dotted name of a call target (``a.b.c()`` -> ``"a.b.c"``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _FileLinter:
+    def __init__(self, path: Path, source: str, rel: str):
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.violations: List[LintViolation] = []
+        self.in_serving = "serving" in Path(rel).parts
+        self.hot_eligible = Path(rel).name in ("kernels.py", "plan.py")
+
+    def flag(self, rule: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        ignored = _ignored_rules(self.lines, lineno)
+        if ignored is not None and (not ignored or rule in ignored):
+            return
+        self.violations.append(LintViolation(rule, self.rel, lineno, message))
+
+    def run(self) -> List[LintViolation]:
+        self.check_imports()
+        self.check_mutable_defaults()
+        self.check_except_swallow()
+        if self.in_serving:
+            self.check_async_blocking()
+        if self.hot_eligible:
+            self.check_hot_alloc()
+        self.check_lock_order()
+        return self.violations
+
+    # -- unused-import -------------------------------------------------
+    def check_imports(self) -> None:
+        if Path(self.rel).name == "__init__.py":
+            return  # re-export surface: imports are the point
+        imported: Dict[str, ast.stmt] = {}
+        for node in self.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    imported[name] = node
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    imported[alias.asname or alias.name] = node
+        if not imported:
+            return
+        used: Set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                root = _call_root(node)
+                if root:
+                    used.add(root)
+        # Names re-exported via __all__ count as used.
+        for node in self.tree.body:
+            if (isinstance(node, ast.Assign)
+                    and any(isinstance(t, ast.Name) and t.id == "__all__"
+                            for t in node.targets)
+                    and isinstance(node.value, (ast.List, ast.Tuple))):
+                for elt in node.value.elts:
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                        used.add(elt.value)
+        for name, node in imported.items():
+            if name not in used:
+                self.flag("unused-import", node,
+                          f"imported name {name!r} is never used")
+
+    # -- mutable-default -----------------------------------------------
+    def check_mutable_defaults(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                bad = isinstance(default, (ast.List, ast.Dict, ast.Set))
+                if (isinstance(default, ast.Call)
+                        and isinstance(default.func, ast.Name)
+                        and default.func.id in ("list", "dict", "set")):
+                    bad = True
+                if bad:
+                    self.flag(
+                        "mutable-default", default,
+                        f"mutable default argument in {node.name}() is "
+                        "shared across calls",
+                    )
+
+    # -- except-swallow ------------------------------------------------
+    def _handler_is_broad(self, handler: ast.ExceptHandler) -> Optional[str]:
+        if handler.type is None:
+            return "bare except:"
+        names: List[str] = []
+        types = (handler.type.elts
+                 if isinstance(handler.type, ast.Tuple) else [handler.type])
+        for t in types:
+            dotted = _dotted(t)
+            if dotted in ("Exception", "BaseException"):
+                names.append(dotted)
+        return f"except {names[0]}" if names else None
+
+    def _body_swallows(self, handler: ast.ExceptHandler) -> bool:
+        """True when the handler body does nothing observable at all."""
+        for stmt in handler.body:
+            if isinstance(stmt, ast.Pass) or isinstance(stmt, ast.Continue):
+                continue
+            if (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)):
+                continue  # docstring / ellipsis
+            return False
+        return True
+
+    def check_except_swallow(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = self._handler_is_broad(node)
+            if broad is None:
+                continue
+            if self._body_swallows(node):
+                self.flag(
+                    "except-swallow", node,
+                    f"{broad} swallows the error without re-raising, "
+                    "logging or counting it — narrow the type or record "
+                    "the drop",
+                )
+
+    # -- async-blocking ------------------------------------------------
+    def _blocking_reason(self, call: ast.Call) -> Optional[str]:
+        dotted = _dotted(call.func)
+        if dotted == "time.sleep":
+            return "time.sleep() blocks the event loop (use asyncio.sleep)"
+        if dotted == "open" or dotted == "io.open":
+            return "synchronous file I/O blocks the event loop"
+        root = _call_root(call.func)
+        if root in _BLOCKING_ROOTS:
+            return f"synchronous {root}.* call blocks the event loop"
+        if (isinstance(call.func, ast.Attribute)
+                and call.func.attr == "result"
+                and not call.args and not call.keywords):
+            return (".result() blocks the event loop until the future "
+                    "resolves (await it instead)")
+        return None
+
+    def check_async_blocking(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            # Nodes inside nested *sync* defs run off-loop (executor
+            # targets, helpers) — exclude their whole subtrees.
+            off_loop: Set[int] = set()
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.FunctionDef):
+                    off_loop.update(id(x) for x in ast.walk(sub))
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call) or id(sub) in off_loop:
+                    continue
+                reason = self._blocking_reason(sub)
+                if reason is not None:
+                    self.flag(
+                        "async-blocking", sub,
+                        f"in async {node.name}(): {reason}",
+                    )
+
+    # -- hot-alloc -----------------------------------------------------
+    def _is_hot(self, node: ast.AST) -> bool:
+        lineno = getattr(node, "lineno", 0)
+        for ln in (lineno, lineno - 1):
+            if 1 <= ln <= len(self.lines) and _HOT_RE.search(self.lines[ln - 1]):
+                return True
+        return False
+
+    def check_hot_alloc(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._is_hot(node):
+                continue
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                dotted = _dotted(sub.func)
+                if dotted is not None and "." in dotted:
+                    root, _, tail = dotted.partition(".")
+                    if root in ("np", "numpy") and tail in _NP_ALLOCATORS:
+                        self.flag(
+                            "hot-alloc", sub,
+                            f"{dotted}() allocates inside hot function "
+                            f"{node.name}() — route it through the arena",
+                        )
+                        continue
+                if isinstance(sub.func, ast.Attribute):
+                    if sub.func.attr == "astype":
+                        copy_false = any(
+                            kw.arg == "copy"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is False
+                            for kw in sub.keywords
+                        )
+                        if not copy_false:
+                            self.flag(
+                                "hot-alloc", sub,
+                                f".astype(...) without copy=False allocates "
+                                f"inside hot function {node.name}()",
+                            )
+                    elif (sub.func.attr == "copy"
+                          and not sub.args and not sub.keywords):
+                        self.flag(
+                            "hot-alloc", sub,
+                            f".copy() allocates inside hot function "
+                            f"{node.name}()",
+                        )
+
+    # -- lock-order ----------------------------------------------------
+    def _lock_name(self, node: ast.expr) -> Optional[str]:
+        """Identify a lock-ish with-item by its final attribute/name."""
+        target = node
+        if isinstance(target, ast.Call):
+            return None  # with lock_factory(): not a named lock
+        dotted = _dotted(target)
+        if dotted is None:
+            return None
+        final = dotted.rsplit(".", 1)[-1]
+        if _LOCK_NAME_RE.search(final):
+            return dotted
+        return None
+
+    def _with_lock_edges(self) -> List[Tuple[str, str, ast.AST]]:
+        """(outer, inner, node) pairs of nested lock acquisitions."""
+        edges: List[Tuple[str, str, ast.AST]] = []
+
+        def visit(node: ast.AST, held: List[str]) -> None:
+            acquired: List[str] = []
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    name = self._lock_name(item.context_expr)
+                    if name is not None:
+                        for outer in held + acquired:
+                            edges.append((outer, name, node))
+                        acquired.append(name)
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                    visit(child, [])
+                else:
+                    visit(child, held + acquired)
+
+        visit(self.tree, [])
+        return edges
+
+    def check_lock_order(self) -> None:
+        edges = self._with_lock_edges()
+        seen: Dict[Tuple[str, str], ast.AST] = {}
+        for outer, inner, node in edges:
+            if outer == inner:
+                self.flag(
+                    "lock-order", node,
+                    f"re-acquires lock {outer!r} while already holding it",
+                )
+                continue
+            seen.setdefault((outer, inner), node)
+        for (outer, inner), node in seen.items():
+            if (inner, outer) in seen:
+                self.flag(
+                    "lock-order", node,
+                    f"inconsistent acquisition order: {outer!r} -> {inner!r} "
+                    f"here but {inner!r} -> {outer!r} elsewhere — deadlock "
+                    "under contention",
+                )
+
+
+def lint_file(path: Union[str, Path], rel: Optional[str] = None) -> List[LintViolation]:
+    """Lint one Python source file; returns its violations."""
+    p = Path(path)
+    rel = rel if rel is not None else p.name
+    try:
+        source = p.read_text()
+    except (OSError, UnicodeDecodeError) as exc:
+        return [LintViolation("structure", str(rel), 0, f"unreadable: {exc}")]
+    try:
+        return _FileLinter(p, source, str(rel)).run()
+    except SyntaxError as exc:
+        return [LintViolation("structure", str(rel), exc.lineno or 0,
+                              f"syntax error: {exc.msg}")]
+
+
+def lint_paths(paths: Sequence[Union[str, Path]],
+               root: Optional[Path] = None) -> List[LintViolation]:
+    """Lint a list of files/directories (directories walked recursively)."""
+    violations: List[LintViolation] = []
+    for entry in paths:
+        p = Path(entry)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            base = root if root is not None else (p if p.is_dir() else p.parent)
+            try:
+                rel = str(f.relative_to(base))
+            except ValueError:
+                rel = str(f)
+            violations.extend(lint_file(f, rel=rel))
+    return violations
+
+
+def lint_package(root: Optional[Union[str, Path]] = None) -> List[LintViolation]:
+    """Lint the installed ``repro`` package tree (the ``--self`` mode)."""
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+    root = Path(root)
+    return lint_paths([root], root=root.parent)

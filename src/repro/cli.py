@@ -8,6 +8,7 @@ Installed as the ``repro-mcu`` console script::
     repro-mcu run     model.artifact --batch 4 --profile
     repro-mcu serve   model.artifact --port 8707 --max-batch 8
     repro-mcu serve   --fleet artifacts/ --memory-budget-kb 1024
+    repro-mcu check   model.artifact --self
     repro-mcu sweep   --device stm32h7 --method PC+ICN
     repro-mcu table   table2
 
@@ -17,8 +18,10 @@ as JSON), ``deploy`` adds the latency/memory report for a device preset
 a saved artifact and serves it (the quantize → compile → serve round
 trip of :mod:`repro.runtime`), ``serve`` exposes an artifact over the
 fault-tolerant micro-batching HTTP front end of :mod:`repro.serving`,
-``sweep`` reproduces the Figure-2 style family sweep, and ``table``
-regenerates one of the paper's tables on the terminal.
+``check`` statically verifies a saved artifact's compiled plan (and with
+``--self`` lints the repo) without executing any inference, ``sweep``
+reproduces the Figure-2 style family sweep, and ``table`` regenerates
+one of the paper's tables on the terminal.
 
 Operational errors (missing or corrupt artifacts, bad input files) exit
 nonzero with a one-line ``error:`` message — never a traceback.
@@ -27,7 +30,6 @@ nonzero with a one-line ``error:`` message — never a traceback.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from typing import Optional, Sequence
@@ -223,6 +225,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis import PlanVerificationError, lint_package, verify_artifact
+
+    if args.artifact is None and not args.self_lint:
+        print("error: check needs an artifact path and/or --self",
+              file=sys.stderr)
+        return 2
+    rc = 0
+    if args.artifact is not None:
+        hw = None
+        if args.resolution is not None:
+            hw = (args.resolution, args.resolution)
+        try:
+            report = verify_artifact(args.artifact, hw)
+        except PlanVerificationError as exc:
+            for v in exc.violations:
+                print(str(v), file=sys.stderr)
+            print(f"{args.artifact}: FAILED static verification "
+                  f"({len(exc.violations)} violation(s))", file=sys.stderr)
+            rc = 1
+        else:
+            print(f"{args.artifact}: {report.summary()}")
+    if args.self_lint:
+        violations = lint_package()
+        for v in violations:
+            print(str(v), file=sys.stderr)
+        if violations:
+            print(f"repo lint: {len(violations)} violation(s)", file=sys.stderr)
+            rc = 1
+        else:
+            print("repo lint: clean")
+    return rc
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     device = _resolve_device(args)
     fig = experiments.figure2(device=device)
@@ -370,6 +406,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serve for TTL seconds then shut down cleanly "
                               "(default: until Ctrl-C)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_check = sub.add_parser(
+        "check", help="statically verify an artifact's compiled plan "
+                      "and/or lint the repo (no inference is executed)")
+    p_check.add_argument("artifact", nargs="?", default=None,
+                         help="artifact directory to verify: accumulator "
+                              "bounds vs. dispatched backend, container "
+                              "dtypes, requant shifts, arena slab "
+                              "lifetime/aliasing")
+    p_check.add_argument("--self", dest="self_lint", action="store_true",
+                         help="run the AST repo lint over the installed "
+                              "repro package")
+    p_check.add_argument("--resolution", type=int, default=None,
+                         help="geometry for the slab-lifetime walk "
+                              "(default: the artifact's arena geometry)")
+    p_check.set_defaults(func=_cmd_check)
 
     p_sweep = sub.add_parser("sweep", help="Figure-2 style sweep of the whole family")
     _add_device_args(p_sweep)

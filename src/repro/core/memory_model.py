@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.policy import LayerPolicy, QuantMethod, QuantPolicy
 from repro.models.model_zoo import LayerSpec, NetworkSpec

@@ -21,7 +21,7 @@ this, our methodology ... applies statically").
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 from repro.core.memory_model import (
     layer_extra_params_bytes,

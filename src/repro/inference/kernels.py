@@ -214,6 +214,7 @@ def shift_weights(w_codes: np.ndarray, z_w: np.ndarray | int, c_out: int) -> np.
 INT_GEMM_K_BLOCK = 512
 
 
+# hot
 def int_einsum_gemm(
     w2: np.ndarray,
     cols: np.ndarray,
@@ -237,9 +238,9 @@ def int_einsum_gemm(
     if k <= k_block:
         return np.einsum("ok,nkl->nol", w2, cols, optimize=True, out=out)
     if out is None:
-        out = np.empty((n, w2.shape[0], l), dtype=np.result_type(w2, cols))
+        out = np.empty((n, w2.shape[0], l), dtype=np.result_type(w2, cols))  # analysis: ignore[hot-alloc] — arena-less fallback
     np.einsum("ok,nkl->nol", w2[:, :k_block], cols[:, :k_block], optimize=True, out=out)
-    partial = np.empty_like(out)
+    partial = np.empty_like(out)  # analysis: ignore[hot-alloc] — documented tiling tradeoff
     for k0 in range(k_block, k, k_block):
         k1 = min(k0 + k_block, k)
         np.einsum("ok,nkl->nol", w2[:, k0:k1], cols[:, k0:k1], optimize=True, out=partial)
@@ -293,6 +294,7 @@ def depthwise_prefers_stencil(
     return n * c * kh * kw * oh * ow * itemsize > threshold
 
 
+# hot
 def depthwise_stencil_accumulate(
     x_shift: np.ndarray,
     w_cols: np.ndarray,
@@ -328,9 +330,9 @@ def depthwise_stencil_accumulate(
     oh = (hp - kh) // stride + 1
     ow = (wp - kw) // stride + 1
     if out is None:
-        out = np.empty((n, c, oh, ow), dtype=x_shift.dtype)
+        out = np.empty((n, c, oh, ow), dtype=x_shift.dtype)  # analysis: ignore[hot-alloc] — arena-less fallback
     if tmp is None and kh * kw > 1:
-        tmp = np.empty((n, c, oh, ow), dtype=x_shift.dtype)
+        tmp = np.empty((n, c, oh, ow), dtype=x_shift.dtype)  # analysis: ignore[hot-alloc] — arena-less fallback
     itemsize = x_shift.dtype.itemsize
     per_channel = 3 * oh * ow * itemsize
     c_block = max(1, DW_STENCIL_BLOCK_BYTES // max(per_channel, 1))
@@ -558,6 +560,7 @@ def int_linear(
     return phi if phi.dtype == np.int64 else phi.astype(np.int64)
 
 
+# hot
 def int_avg_pool_global(x_codes: np.ndarray) -> np.ndarray:
     """Integer global average pooling with floor rounding.
 

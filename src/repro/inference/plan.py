@@ -202,6 +202,7 @@ class _CompiledFixedPointRequant:
         self.z_y = int(z_y)
         self.qmax = 2 ** out_bits - 1
 
+    # hot
     def _steps(self, phi: np.ndarray) -> np.ndarray:
         phi += self.bq
         phi *= self.m0
@@ -215,6 +216,7 @@ class _CompiledFixedPointRequant:
         # ``phi`` is owned by the caller's layer and safe to mutate.
         return self._steps(phi)
 
+    # hot
     def store(self, phi: np.ndarray, out: np.ndarray, scratch: np.ndarray) -> np.ndarray:
         n, c, l = phi.shape
         lc = max(1, min(l, scratch.size // max(c, 1)))
@@ -284,6 +286,7 @@ class _CompiledThresholdRequant:
             np.clip(y, 0, self.levels - 1, out=vals)
         return phi
 
+    # hot
     def store(self, phi: np.ndarray, out: np.ndarray, scratch: np.ndarray) -> np.ndarray:
         n, c, l = phi.shape
         for b in range(n):
@@ -428,6 +431,7 @@ class CompiledConvLayer:
             return np.einsum("ck,nckl->ncl", self.w2, cols, optimize=True, out=out)
         return int_einsum_gemm(self.w2, cols, out=out)
 
+    # hot
     def _shift_pad(self, x_codes: np.ndarray, dtype, arena) -> np.ndarray:
         """Zero-point shift and zero-pad in a single (or zero) allocation.
 
@@ -449,10 +453,11 @@ class CompiledConvLayer:
             out = arena.pad(dtype, shape)
             out.fill(0)
         else:
-            out = np.zeros(shape, dtype=dtype)
+            out = np.zeros(shape, dtype=dtype)  # analysis: ignore[hot-alloc] — arena-less fallback
         np.subtract(x_codes, self.z_x, out=out[:, :, p:-p, p:-p], dtype=dtype)
         return out
 
+    # hot
     def _unfold(self, x_shift: np.ndarray, arena, n: int, l_out: int) -> np.ndarray:
         """im2col columns — a pure view for 1x1/s1, an arena slab otherwise."""
         if self.kh == 1 and self.kw == 1 and self.stride == 1:
@@ -463,6 +468,7 @@ class CompiledConvLayer:
                           out=arena.cols(x_shift.dtype, shape))
         return im2col(x_shift, self.kh, self.kw, self.stride, 0, contiguous=False)
 
+    # hot
     def _requant_scratch(self, n: int, l_out: int, arena) -> np.ndarray:
         if arena is not None:
             return arena.requant_scratch()
@@ -471,8 +477,9 @@ class CompiledConvLayer:
             self.kind, self.requant_kind, self.out_channels,
             self.out_channels * l_out, np.dtype(self.out_dtype).itemsize,
         )
-        return np.empty(max(1, nbytes // 8), dtype=np.int64)
+        return np.empty(max(1, nbytes // 8), dtype=np.int64)  # analysis: ignore[hot-alloc] — arena-less fallback
 
+    # hot
     def __call__(self, x_codes: np.ndarray, arena: Optional[ActivationArena] = None,
                  slot: int = 0) -> np.ndarray:
         n, c, h, w = x_codes.shape
@@ -515,8 +522,8 @@ class CompiledConvLayer:
                     acc = arena.acc(np.float64, out_shape)
                     tmp = arena.cols(self.gemm_dtype, out_shape)
                 else:
-                    acc = np.empty(out_shape, dtype=np.float64)
-                    tmp = np.empty(out_shape, dtype=self.gemm_dtype)
+                    acc = np.empty(out_shape, dtype=np.float64)  # analysis: ignore[hot-alloc] — arena-less fallback
+                    tmp = np.empty(out_shape, dtype=self.gemm_dtype)  # analysis: ignore[hot-alloc] — arena-less fallback
                 (k0, k1), *rest = self.split_k
                 np.matmul(self.w2_chunks[0], cols[:, k0:k1, :], out=tmp)
                 np.copyto(acc, tmp)
@@ -552,7 +559,7 @@ class CompiledConvLayer:
             if arena is not None:
                 out = arena.codes(slot, out_shape, self.out_dtype)
             else:
-                out = np.empty(out_shape, dtype=self.out_dtype)
+                out = np.empty(out_shape, dtype=self.out_dtype)  # analysis: ignore[hot-alloc] — arena-less fallback
             self.requant.store(phi, out, self._requant_scratch(n, l_out, arena))
             return out.reshape(n, self.out_channels, oh, ow)
         # Legacy wide path: int64 codes, requantized in place.
@@ -562,7 +569,7 @@ class CompiledConvLayer:
             phi64 = arena.codes(slot, out_shape)
             np.copyto(phi64, phi, casting="unsafe")
         else:
-            phi64 = phi.astype(np.int64)
+            phi64 = phi.astype(np.int64)  # analysis: ignore[hot-alloc] — arena-less fallback
         return self.requant(phi64).reshape(n, self.out_channels, oh, ow)
 
 

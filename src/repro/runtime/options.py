@@ -16,14 +16,14 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 #: GEMM backends understood by the compiled plan (see
 #: :func:`repro.inference.plan._resolve_compiled_backend`).
 VALID_BACKENDS = ("auto", "blas", "int32", "int64")
 
 
-def _normalize_hw(value) -> Optional[Tuple[int, int]]:
+def _normalize_hw(value: Any) -> Optional[Tuple[int, int]]:
     if value is None:
         return None
     try:
@@ -86,7 +86,7 @@ class CompileOptions:
     input_hw: Optional[Tuple[int, int]] = None
     max_input_hw: Optional[Tuple[int, int]] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.backend not in VALID_BACKENDS:
             raise ValueError(
                 f"backend must be one of {VALID_BACKENDS}, got {self.backend!r}"
@@ -110,7 +110,7 @@ class CompileOptions:
             )
 
     @classmethod
-    def from_legacy_kwargs(cls, **kwargs) -> "CompileOptions":
+    def from_legacy_kwargs(cls, **kwargs: Any) -> "CompileOptions":
         """Build options from the historical ``compile(**kwargs)`` names.
 
         The legacy keyword names map one-to-one onto the dataclass
@@ -127,11 +127,11 @@ class CompileOptions:
             )
         return cls(**kwargs)
 
-    def replace(self, **changes) -> "CompileOptions":
+    def replace(self, **changes: Any) -> "CompileOptions":
         """A copy with ``changes`` applied (frozen-dataclass update)."""
         return dataclasses.replace(self, **changes)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form (used by the session artifact)."""
         d = dataclasses.asdict(self)
         for key in ("input_hw", "max_input_hw"):
@@ -145,7 +145,7 @@ class CompileOptions:
         return d
 
     @classmethod
-    def from_dict(cls, d: dict) -> "CompileOptions":
+    def from_dict(cls, d: Dict[str, Any]) -> "CompileOptions":
         return cls.from_legacy_kwargs(**d)
 
 
@@ -179,7 +179,7 @@ class SessionOptions:
     input_hw: Optional[Tuple[int, int]] = None
     workers: int = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if int(self.batch_size) < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         object.__setattr__(self, "batch_size", int(self.batch_size))
@@ -188,18 +188,18 @@ class SessionOptions:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         object.__setattr__(self, "workers", int(self.workers))
 
-    def replace(self, **changes) -> "SessionOptions":
+    def replace(self, **changes: Any) -> "SessionOptions":
         """A copy with ``changes`` applied (frozen-dataclass update)."""
         return dataclasses.replace(self, **changes)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         d = dataclasses.asdict(self)
         if d["input_hw"] is not None:
             d["input_hw"] = list(d["input_hw"])
         return d
 
     @classmethod
-    def from_dict(cls, d: dict) -> "SessionOptions":
+    def from_dict(cls, d: Dict[str, Any]) -> "SessionOptions":
         valid = {f.name for f in dataclasses.fields(cls)}
         unknown = set(d) - valid
         if unknown:

@@ -48,7 +48,7 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Deque, Dict, List, Optional, Sequence, Union
+from typing import Any, Deque, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -187,8 +187,8 @@ def _worker_main(worker_id: int, artifact_path: str, req_name: str,
         resp.close()
         try:
             conn.close()
-        except Exception:
-            pass
+        except OSError:
+            pass  # already torn down by the parent
 
 
 class _Task:
@@ -363,8 +363,8 @@ class WorkerPool:
         """Replace a dead worker in place (same slot, same slabs)."""
         try:
             handle.conn.close()
-        except Exception:
-            pass
+        except OSError:
+            pass  # pipe already broken — that is why we are respawning
         if handle.proc is not None and handle.proc.is_alive():
             handle.proc.kill()
         if handle.proc is not None:
@@ -399,8 +399,8 @@ class WorkerPool:
             try:
                 if handle.alive:
                     handle.conn.send({"op": "close"})
-            except Exception:
-                pass
+            except (OSError, ValueError):
+                pass  # worker died first; the kill below still runs
         for handle in self._workers:
             if handle.proc is not None:
                 handle.proc.join(timeout=2.0)
@@ -409,8 +409,8 @@ class WorkerPool:
                     handle.proc.join(timeout=2.0)
             try:
                 handle.conn.close()
-            except Exception:
-                pass
+            except OSError:
+                pass  # double-close after a crashed worker
             handle.req.close()
             handle.resp.close()
         if self._owned_tmp:

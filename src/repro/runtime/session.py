@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -163,6 +163,26 @@ class Session:
         return self._plan.describe(
             input_hw=input_hw or self.options.input_hw,
             batch_size=batch_size or self.options.batch_size,
+        )
+
+    def verify(self, input_hw: Optional[Tuple[int, int]] = None,
+               raise_on_violation: bool = True):
+        """Statically verify the compiled plan without executing it.
+
+        Runs :func:`repro.analysis.verify_plan` over the session's plan:
+        accumulator bounds vs. the dispatched backends, container-dtype
+        soundness, requantization shift ranges, and arena slab
+        lifetime/aliasing safety over the ping-pong schedule.  Returns
+        the :class:`~repro.analysis.VerificationReport`; raises
+        :class:`~repro.analysis.PlanVerificationError` (listing every
+        violation with its layer) unless ``raise_on_violation=False``.
+        """
+        from repro.analysis import verify_plan
+
+        self._require_open()
+        return verify_plan(
+            self._plan, input_hw or self.options.input_hw,
+            raise_on_violation=raise_on_violation,
         )
 
     # -- input boundary ------------------------------------------------

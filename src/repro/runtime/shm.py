@@ -87,13 +87,13 @@ class SharedSlab:
     def close(self) -> None:
         try:
             self._shm.close()
-        except Exception:
-            pass
+        except (OSError, BufferError):
+            pass  # exported views may still pin the mapping; GC reaps it
         if self.create:
             try:
                 self._shm.unlink()
-            except Exception:
-                pass
+            except OSError:
+                pass  # another owner already unlinked the segment
 
     @classmethod
     def attach(cls, name: str) -> "SharedSlab":

@@ -30,8 +30,8 @@ async def raw_request(host: str, port: int, payload: bytes,
         writer.close()
         try:
             await writer.wait_closed()
-        except Exception:
-            pass
+        except OSError:
+            pass  # peer reset during close — the response is already read
     head, _, body = raw.partition(b"\r\n\r\n")
     lines = head.decode("latin-1").split("\r\n")
     try:

@@ -13,7 +13,7 @@ import math
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Iterator
+from typing import Any, Callable, Iterator
 
 
 @dataclass(frozen=True)
@@ -30,7 +30,7 @@ class RetryPolicy:
     factor: float = 2.0
     max_delay_s: float = 0.5
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.attempts < 0:
             raise ValueError(f"attempts must be >= 0, got {self.attempts}")
         if self.base_delay_s < 0 or self.max_delay_s < 0:
@@ -76,7 +76,7 @@ class CircuitBreaker:
     """
 
     def __init__(self, failure_threshold: int = 5, reset_after_s: float = 2.0,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic) -> None:
         if failure_threshold < 1:
             raise ValueError(
                 f"failure_threshold must be >= 1, got {failure_threshold}"
@@ -182,7 +182,7 @@ class ServerOptions:
     workers: int = 1
     worker_retries: int = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.queue_depth < 1:
@@ -198,5 +198,5 @@ class ServerOptions:
                 f"worker_retries must be >= 0, got {self.worker_retries}"
             )
 
-    def replace(self, **changes) -> "ServerOptions":
+    def replace(self, **changes: Any) -> "ServerOptions":
         return dataclasses.replace(self, **changes)

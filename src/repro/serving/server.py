@@ -176,7 +176,10 @@ class ServingServer:
             task.cancel()
             try:
                 await task
-            except (asyncio.CancelledError, Exception):
+            # Shutdown drain: a batch task's terminal error was already
+            # surfaced to its requests; here only the cancellation counts
+            # (CancelledError is a BaseException and must be named).
+            except (asyncio.CancelledError, Exception):  # analysis: ignore[except-swallow]
                 pass
         self._batch_tasks.clear()
         pending = self.batcher.drain() + [
@@ -359,8 +362,8 @@ class ServingServer:
             try:
                 writer.close()
                 await writer.wait_closed()
-            except Exception:
-                pass
+            except OSError:
+                pass  # peer reset during close
 
     async def _handle_request(self, reader: asyncio.StreamReader):
         try:

@@ -1,0 +1,260 @@
+"""Static plan verifier: acceptance over the zoo, rejection of corruption."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PlanVerificationError, verify_artifact, verify_plan
+from repro.inference.plan import ExecutionPlan
+from repro.inference.testing import integer_network_from_spec
+from repro.models.model_zoo import all_mobilenet_configs
+from repro.runtime import Session
+from repro.runtime.options import CompileOptions, SessionOptions
+
+HW = (32, 32)
+CONFIGS = all_mobilenet_configs(num_classes=5)
+
+#: Every backend-relevant compile flag combination the issue names.
+FLAG_COMBOS = [
+    CompileOptions(input_hw=HW),
+    CompileOptions(input_hw=HW, narrow=False),
+    CompileOptions(input_hw=HW, refined_bound=False),
+    CompileOptions(input_hw=HW, backend="int32"),
+]
+
+
+def _network(spec, act_bits=8, w_bits=8, seed=0):
+    return integer_network_from_spec(
+        spec, rng=np.random.default_rng(seed), act_bits=act_bits, w_bits=w_bits
+    )
+
+
+class TestZooAcceptance:
+    @pytest.mark.parametrize("spec", CONFIGS, ids=[s.name for s in CONFIGS])
+    def test_all_zoo_configs_verify_under_every_flag_combo(self, spec):
+        net = _network(spec)
+        for options in FLAG_COMBOS:
+            plan = ExecutionPlan(net, options)
+            report = verify_plan(plan, HW)
+            assert report.ok
+            # Every rule family actually ran.
+            for rule in ("acc-bound", "container-dtype", "requant-shift",
+                         "slab-aliasing", "structure"):
+                assert report.count(rule) > 0, rule
+
+    @pytest.mark.parametrize("act_bits", [2, 4, 8])
+    @pytest.mark.parametrize("w_bits", [2, 4, 8])
+    def test_bit_mixes_verify(self, act_bits, w_bits):
+        net = _network(CONFIGS[0], act_bits=act_bits, w_bits=w_bits)
+        report = verify_plan(ExecutionPlan(net, CompileOptions(input_hw=HW)), HW)
+        assert report.ok
+
+    def test_threshold_strategy_verifies(self):
+        net = integer_network_from_spec(
+            CONFIGS[0], rng=np.random.default_rng(3), strategy="thresholds"
+        )
+        report = verify_plan(ExecutionPlan(net, CompileOptions(input_hw=HW)), HW)
+        assert report.ok
+
+    def test_split_k_layer_verifies(self):
+        # The widest config's last pointwise layer exceeds the float32
+        # bound and compiles to split-K sgemm; the verifier re-proves the
+        # per-chunk bounds.
+        net = _network(CONFIGS[-1])
+        plan = ExecutionPlan(net, CompileOptions(input_hw=HW))
+        assert any(l.split_k is not None for l in plan.layers)
+        assert verify_plan(plan, HW).ok
+
+    def test_shape_polymorphic_plan_verifies(self):
+        net = _network(CONFIGS[0])
+        plan = ExecutionPlan(
+            net, CompileOptions(input_hw=(24, 24), max_input_hw=HW)
+        )
+        report = verify_plan(plan)
+        assert report.ok
+        # Both the max arena and the adopted smaller geometry were walked.
+        assert report.count("slab-aliasing") >= 2 * len(plan.layers)
+
+
+def _fresh_plan(seed=0):
+    net = _network(CONFIGS[0], seed=seed)
+    return ExecutionPlan(net, CompileOptions(input_hw=HW))
+
+
+class TestCorruptionRejection:
+    def test_shift_out_of_range_names_the_layer(self):
+        plan = _fresh_plan()
+        victim = plan.layers[3]
+        victim.requant.rshift = np.full_like(
+            np.asarray(victim.requant.rshift), 70
+        )
+        with pytest.raises(PlanVerificationError) as exc_info:
+            verify_plan(plan, HW)
+        err = exc_info.value
+        assert "requant-shift" in err.rules
+        assert victim.name in err.layers
+        assert victim.name in str(err)
+
+    def test_forged_container_dtype_names_the_layer(self):
+        plan = _fresh_plan()
+        victim = plan.layers[2]
+        victim.out_dtype = np.dtype(np.uint16)  # wider than container_dtype(8)
+        with pytest.raises(PlanVerificationError) as exc_info:
+            verify_plan(plan, HW)
+        err = exc_info.value
+        assert "container-dtype" in err.rules
+        assert victim.name in err.layers
+
+    def test_forged_backend_overflows_accumulator(self):
+        # The widest config has a layer whose refined bound exceeds 2^24;
+        # forging it onto the float32 tier must fail acc-bound.
+        net = _network(CONFIGS[-1])
+        plan = ExecutionPlan(net, CompileOptions(input_hw=HW))
+        victim = next(l for l in plan.layers if l.acc_bound >= (1 << 24))
+        victim.backend = "blas"
+        victim.gemm_dtype = np.dtype(np.float32)
+        victim.acc_dtype = np.dtype(np.float32)
+        victim.split_k = None
+        victim.w2_chunks = None
+        with pytest.raises(PlanVerificationError) as exc_info:
+            verify_plan(plan, HW)
+        err = exc_info.value
+        assert "acc-bound" in err.rules
+        assert victim.name in err.layers
+
+    def test_understated_acc_bound_rejected(self):
+        plan = _fresh_plan()
+        victim = plan.layers[5]
+        victim.acc_bound = 1  # claims a bound far below the true one
+        with pytest.raises(PlanVerificationError) as exc_info:
+            verify_plan(plan, HW)
+        assert "acc-bound" in exc_info.value.rules
+        assert victim.name in exc_info.value.layers
+
+    def test_overlapping_slab_schedule_rejected(self):
+        plan = _fresh_plan()
+        n = len(plan.layers)
+        schedule = [((i - 1) % 2, i % 2) for i in range(n)]
+        in_slot, _ = schedule[4]
+        schedule[4] = (in_slot, in_slot)  # output aliases the live input
+        with pytest.raises(PlanVerificationError) as exc_info:
+            verify_plan(plan, HW, schedule=schedule)
+        err = exc_info.value
+        assert "slab-aliasing" in err.rules
+        assert plan.layers[4].name in err.layers
+
+    def test_stale_read_schedule_rejected(self):
+        plan = _fresh_plan()
+        n = len(plan.layers)
+        assert n >= 6
+        schedule = [((i - 1) % 2, i % 2) for i in range(n)]
+        # Layer 5 reads the slot its predecessor did NOT write: the value
+        # it consumes died two layers ago.
+        schedule[5] = (schedule[5][1], schedule[5][0])
+        with pytest.raises(PlanVerificationError) as exc_info:
+            verify_plan(plan, HW, schedule=schedule)
+        err = exc_info.value
+        assert "slab-aliasing" in err.rules
+
+    def test_forged_multiplier_rejected(self):
+        plan = _fresh_plan()
+        victim = plan.layers[1]
+        victim.requant.m0 = np.asarray(victim.requant.m0, dtype=np.int64) * 0 + (1 << 31)
+        with pytest.raises(PlanVerificationError) as exc_info:
+            verify_plan(plan, HW)
+        assert "requant-shift" in exc_info.value.rules
+        assert victim.name in exc_info.value.layers
+
+    def test_report_collects_every_violation(self):
+        plan = _fresh_plan()
+        plan.layers[1].out_dtype = np.dtype(np.uint16)
+        plan.layers[3].requant.rshift = np.full_like(
+            np.asarray(plan.layers[3].requant.rshift), -1
+        )
+        report = verify_plan(plan, HW, raise_on_violation=False)
+        assert not report.ok
+        rules = {v.rule for v in report.violations}
+        assert "container-dtype" in rules
+        assert "requant-shift" in rules
+
+
+class TestArtifactAndSession:
+    def test_saved_artifact_verifies(self, tmp_path):
+        net = _network(CONFIGS[0])
+        session = Session(
+            net, compile_options=CompileOptions(input_hw=HW),
+            options=SessionOptions(input_hw=HW),
+        )
+        path = session.save(tmp_path / "model.artifact")
+        session.close()
+        report = verify_artifact(path)
+        assert report.ok
+        # The manifest cross-checks ran on top of the plan rules.
+        assert report.count("acc-bound") > len(CONFIGS[0].layers) - 1
+
+    def test_corrupt_manifest_backend_rejected(self, tmp_path):
+        import json
+
+        net = _network(CONFIGS[0])
+        session = Session(
+            net, compile_options=CompileOptions(input_hw=HW),
+            options=SessionOptions(input_hw=HW),
+        )
+        path = session.save(tmp_path / "model.artifact")
+        session.close()
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        victim = manifest["network"]["conv_layers"][2]
+        victim["gemm_backend"] = "int64" if victim["gemm_backend"] != "int64" else "blas"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(PlanVerificationError) as exc_info:
+            verify_artifact(path)
+        err = exc_info.value
+        assert "acc-bound" in err.rules
+        assert victim["name"] in err.layers
+
+    def test_corrupt_arena_peak_rejected(self, tmp_path):
+        import json
+
+        net = _network(CONFIGS[0])
+        session = Session(
+            net, compile_options=CompileOptions(input_hw=HW),
+            options=SessionOptions(input_hw=HW),
+        )
+        path = session.save(tmp_path / "model.artifact")
+        session.close()
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["network"]["arena"]["rw_peak_bytes"] //= 2
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(PlanVerificationError) as exc_info:
+            verify_artifact(path)
+        assert "slab-aliasing" in exc_info.value.rules
+
+    def test_session_verify(self):
+        net = _network(CONFIGS[0])
+        session = Session(
+            net, compile_options=CompileOptions(input_hw=HW),
+            options=SessionOptions(input_hw=HW),
+        )
+        report = session.verify()
+        assert report.ok
+        session.close()
+        with pytest.raises(RuntimeError):
+            session.verify()
+
+    def test_verification_is_static(self):
+        """verify_plan must never execute the network's kernels."""
+        plan = _fresh_plan()
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("verification executed a layer")
+
+        for layer in plan.layers:
+            layer.__class__.__call__ = layer.__class__.__call__  # sanity
+            layer._accumulate_int = boom
+        old_run = ExecutionPlan.run
+        ExecutionPlan.run = boom
+        try:
+            assert verify_plan(plan, HW).ok
+        finally:
+            ExecutionPlan.run = old_run

@@ -4,14 +4,12 @@ and the fake-quantized conv/bn block used during QAT."""
 import numpy as np
 import pytest
 
-import repro
 from repro.core.fake_quant import (
     PACTFakeQuant,
     QuantConvBNBlock,
     QuantLinear,
     WeightFakeQuant,
 )
-from repro.core.quantizer import per_channel_minmax
 from repro import nn
 from repro.models.mobilenet_v1 import ConvBNBlock
 

@@ -4,11 +4,10 @@ import numpy as np
 import pytest
 
 import repro
-from repro.core.fake_quant import QuantConvBNBlock
 from repro.core.graph_convert import convert_to_integer_network
 from repro.core.icn import ICNParams, FoldedBNParams, ThresholdParams
-from repro.core.policy import QuantMethod, QuantPolicy
-from repro.training import prepare_qat, QATTrainer, QATConfig, evaluate_model
+from repro.core.policy import QuantMethod
+from repro.training import evaluate_model
 
 
 class TestConvertStructure:

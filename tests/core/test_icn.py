@@ -6,8 +6,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.icn import (
-    FoldedBNParams,
-    ICNParams,
     compute_folded_params,
     compute_icn_params,
     compute_thresholds,

@@ -5,7 +5,6 @@ import pytest
 
 import repro
 from repro.data import (
-    SyntheticImageDataset,
     calibration_batches,
     collect_activation_ranges,
     make_synthetic_classification,

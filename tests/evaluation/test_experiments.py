@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.policy import QuantMethod
 from repro.evaluation import experiments, paper_data
-from repro.mcu.device import MB, KB, STM32H7
+from repro.mcu.device import MB, KB
 
 
 class TestTable1Experiment:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-import repro
 from repro.core.graph_convert import convert_to_integer_network
 from repro.core.memory_model import MemoryModel
 from repro.core.policy import QuantMethod, QuantPolicy

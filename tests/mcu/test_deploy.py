@@ -2,10 +2,9 @@
 
 import pytest
 
-import repro
 from repro.core.policy import QuantMethod, QuantPolicy
 from repro.mcu.deploy import check_fit, deploy
-from repro.mcu.device import KB, MB, STM32H7, STM32L4
+from repro.mcu.device import MB, STM32H7, STM32L4
 from repro.models.model_zoo import mobilenet_v1_spec
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.policy import QuantMethod, QuantPolicy
-from repro.mcu.device import KB, MB, MCUDevice, STM32F7, STM32H7, STM32L4
+from repro.mcu.device import KB, MB, STM32F7, STM32H7, STM32L4
 from repro.mcu.latency import (
     CMSISNNCostModel,
     DEFAULT_COST_MODEL,

@@ -1,7 +1,6 @@
 """Layer-level tests: shapes, parameter registration, train/eval behaviour."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 

@@ -1,9 +1,8 @@
 """Fault injector: deterministic schedules, parsing, artifact corruption."""
 
-import numpy as np
 import pytest
 
-from repro.runtime import ArtifactError, Session, SessionOptions
+from repro.runtime import ArtifactError, Session
 from repro.serving.errors import InjectedFaultError
 from repro.serving.faults import FaultInjector, FaultSpec, corrupt_artifact
 

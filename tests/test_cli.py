@@ -1,6 +1,5 @@
 """Command line interface (repro-mcu)."""
 
-import json
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Full-precision training and the QAT pipeline (preparation + schedule)."""
 
-import numpy as np
 import pytest
 
 import repro
@@ -10,8 +9,6 @@ from repro.core.policy import QuantMethod, QuantPolicy
 from repro.training import (
     QATConfig,
     QATTrainer,
-    TrainConfig,
-    Trainer,
     evaluate_model,
     prepare_qat,
 )
